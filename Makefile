@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-short bench experiments examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Skips the heaviest PTP packet-level load experiments.
+test-short:
+	go test -short ./...
+
+# One iteration of every paper table/figure benchmark with its metrics.
+bench:
+	go test -bench . -benchtime 1x -benchmem -run '^$$' .
+
+# Regenerate every table and figure (long; see EXPERIMENTS.md).
+experiments:
+	go run ./cmd/dtpexp -all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/partition
+	go run ./examples/owd
+	go run ./examples/mixedspeed
+	go run ./examples/fattree
+	go run ./examples/truetime

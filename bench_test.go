@@ -1,0 +1,310 @@
+package dtp
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (one benchmark per artifact) plus the design-choice
+// ablations called out in DESIGN.md. Each benchmark runs the experiment
+// once per iteration over a compressed measurement window and reports
+// the headline quantity (worst offset, bound slack, ...) via
+// b.ReportMetric, so `go test -bench . -benchmem` prints the rows the
+// paper reports.
+//
+// Wall-clock note: the DTP experiments simulate ~800k beacons per link
+// per simulated second; windows here are chosen so the full suite
+// completes in a few minutes. cmd/dtpexp runs the same experiments with
+// longer defaults.
+
+import (
+	"testing"
+
+	"github.com/dtplab/dtp/internal/experiments"
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// benchOpts returns a short measurement window keyed by the iteration.
+func benchOpts(i int, d sim.Time) experiments.Options {
+	return experiments.Options{Seed: uint64(i) + 1, Duration: d}
+}
+
+func BenchmarkFig6a_DTPHeavyMTU(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6a(benchOpts(i, 200*sim.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxAbsTicks > worst {
+			worst = res.MaxAbsTicks
+		}
+		if res.MaxAbsTicks > float64(res.BoundTicks) {
+			b.Fatalf("offset %.0f ticks exceeded the 4T bound", res.MaxAbsTicks)
+		}
+	}
+	b.ReportMetric(worst*6.4, "worst_offset_ns")
+	b.ReportMetric(25.6, "paper_bound_ns")
+}
+
+func BenchmarkFig6b_DTPHeavyJumbo(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6b(benchOpts(i, 200*sim.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxAbsTicks > worst {
+			worst = res.MaxAbsTicks
+		}
+	}
+	b.ReportMetric(worst*6.4, "worst_offset_ns")
+	b.ReportMetric(25.6, "paper_bound_ns")
+}
+
+func BenchmarkFig6c_DTPOffsetDistribution(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6c(benchOpts(i, 300*sim.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range res.Hist {
+			lo, hi := h.Range()
+			if float64(hi-lo) > spread {
+				spread = float64(hi - lo)
+			}
+		}
+	}
+	b.ReportMetric(spread, "pdf_spread_ticks")
+	b.ReportMetric(6, "paper_spread_ticks") // Fig 6c spans about [-2, 4]
+}
+
+func BenchmarkFig6d_PTPIdle(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6d(benchOpts(i, sim.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorstNs > worst {
+			worst = res.WorstNs
+		}
+	}
+	b.ReportMetric(worst, "worst_offset_ns")
+	b.ReportMetric(640, "paper_scale_ns") // Fig 6d y-range ±640 ns
+}
+
+func BenchmarkFig6e_PTPMedium(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6e(benchOpts(i, sim.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorstNs > worst {
+			worst = res.WorstNs
+		}
+	}
+	b.ReportMetric(worst/1000, "worst_offset_us")
+	b.ReportMetric(50, "paper_scale_us") // Fig 6e: up to ~50 us
+}
+
+func BenchmarkFig6f_PTPHeavy(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6f(benchOpts(i, sim.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorstNs > worst {
+			worst = res.WorstNs
+		}
+	}
+	b.ReportMetric(worst/1000, "worst_offset_us")
+	b.ReportMetric(200, "paper_scale_us") // Fig 6f: hundreds of us
+}
+
+func BenchmarkFig7a_DaemonRaw(b *testing.B) {
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchOpts(i, sim.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RawP95 > p99 {
+			p99 = res.RawP95
+		}
+	}
+	b.ReportMetric(p99, "raw_p95_ticks")
+	b.ReportMetric(16, "paper_envelope_ticks")
+}
+
+func BenchmarkFig7b_DaemonSmoothed(b *testing.B) {
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchOpts(i, sim.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SmoothedP95 > p99 {
+			p99 = res.SmoothedP95
+		}
+	}
+	b.ReportMetric(p99, "smoothed_p95_ticks")
+	b.ReportMetric(4, "paper_envelope_ticks")
+}
+
+func BenchmarkTable1_ProtocolComparison(b *testing.B) {
+	var ntpNs, ptpNs, gpsNs, dtpNs float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchOpts(i, 500*sim.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ntpNs, ptpNs, gpsNs, dtpNs = rows[0].MeasuredWorstNs, rows[1].MeasuredWorstNs,
+			rows[2].MeasuredWorstNs, rows[3].MeasuredWorstNs
+	}
+	b.ReportMetric(ntpNs/1000, "ntp_us")
+	b.ReportMetric(ptpNs, "ptp_ns")
+	b.ReportMetric(gpsNs, "gps_ns")
+	b.ReportMetric(dtpNs, "dtp_ns")
+}
+
+func BenchmarkTable2_SpeedProfiles(b *testing.B) {
+	var m10, m40, m100 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchOpts(i, 200*sim.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.MeasuredBoundNs > r.BoundNs {
+				b.Fatalf("%v exceeded its 4T bound", r.Profile.Speed)
+			}
+			switch r.Profile.Speed.String() {
+			case "10G":
+				m10 = r.MeasuredBoundNs
+			case "40G":
+				m40 = r.MeasuredBoundNs
+			case "100G":
+				m100 = r.MeasuredBoundNs
+			}
+		}
+	}
+	b.ReportMetric(m10, "10G_ns")
+	b.ReportMetric(m40, "40G_ns")
+	b.ReportMetric(m100, "100G_ns")
+}
+
+func BenchmarkAnalysis_BoundSweep(b *testing.B) {
+	var six float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BoundSweep(benchOpts(i, 200*sim.Millisecond), 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.WithinBound {
+				b.Fatalf("chain(%d) violated 4TD", r.Hops)
+			}
+		}
+		six = rows[5].MaxOffsetNs
+	}
+	b.ReportMetric(six, "six_hop_worst_ns")
+	b.ReportMetric(153.6, "paper_bound_ns")
+}
+
+func BenchmarkAblation_Alpha(b *testing.B) {
+	var r0, r3 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationAlpha(benchOpts(i, 300*sim.Millisecond), []int64{0, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r0, r3 = rows[0].RatchetPPM, rows[1].RatchetPPM
+	}
+	b.ReportMetric(r0, "alpha0_ratchet_ppm")
+	b.ReportMetric(r3, "alpha3_ratchet_ppm")
+}
+
+func BenchmarkAblation_BeaconInterval(b *testing.B) {
+	var at200, at4000, at60000 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationBeaconInterval(benchOpts(i, 300*sim.Millisecond),
+			[]uint64{200, 4000, 60000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at200, at4000, at60000 = float64(rows[0].MaxOffsetTicks),
+			float64(rows[1].MaxOffsetTicks), float64(rows[2].MaxOffsetTicks)
+	}
+	b.ReportMetric(at200, "interval200_ticks")
+	b.ReportMetric(at4000, "interval4000_ticks")
+	b.ReportMetric(at60000, "interval60000_ticks")
+}
+
+func BenchmarkAblation_CDC(b *testing.B) {
+	var d0, d3 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationCDC(benchOpts(i, 300*sim.Millisecond), []int{0, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d0, d3 = float64(rows[0].MaxOffsetTicks), float64(rows[1].MaxOffsetTicks)
+	}
+	b.ReportMetric(d0, "fifo0_ticks")
+	b.ReportMetric(d3, "fifo3_ticks")
+}
+
+func BenchmarkAblation_MasterTree(b *testing.B) {
+	var res *experiments.MasterModeResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationMasterMode(benchOpts(i, 500*sim.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.MaxModeOffsetTicks), "max_mode_ticks")
+	b.ReportMetric(float64(res.MasterModeOffsetTicks), "master_mode_ticks")
+	b.ReportMetric(res.MaxModeRatePPM, "max_mode_rate_ppm")
+	b.ReportMetric(res.MasterModeRatePPM, "master_mode_rate_ppm")
+}
+
+func BenchmarkAblation_BCCascade(b *testing.B) {
+	var direct, three float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationBCCascade(benchOpts(i, sim.Second), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		direct, three = rows[0].P99Ns, rows[3].P99Ns
+	}
+	b.ReportMetric(direct, "direct_p99_ns")
+	b.ReportMetric(three, "three_levels_p99_ns")
+}
+
+func BenchmarkIncrementalDeployment(b *testing.B) {
+	var res *experiments.IncrementalResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.IncrementalDeployment(benchOpts(i, 500*sim.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.IntraRackWorstNs, "intra_rack_ns")
+	b.ReportMetric(res.InterRackWorstNs, "inter_rack_ns")
+	b.ReportMetric(res.MergedWorstNs, "merged_ns")
+}
+
+func BenchmarkAblation_TransparentClock(b *testing.B) {
+	var realistic, perfect, priority float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationTCModes(benchOpts(i, sim.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		realistic, perfect, priority = res.RealisticWorstNs, res.PerfectWorstNs, res.PriorityWorstNs
+	}
+	b.ReportMetric(realistic/1000, "realistic_tc_us")
+	b.ReportMetric(perfect/1000, "perfect_tc_us")
+	b.ReportMetric(priority/1000, "priority_qos_us")
+}

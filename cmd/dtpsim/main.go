@@ -1,0 +1,125 @@
+// Command dtpsim runs an ad-hoc DTP simulation on a chosen topology and
+// reports synchronization quality over time — a quick way to explore
+// the protocol outside the canned paper experiments.
+//
+// Usage:
+//
+//	dtpsim -topo tree -duration 500ms -watch 50ms
+//	dtpsim -topo fattree:4 -load mtu -seed 9
+//	dtpsim -topo chain:6 -beacon 1200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dtplab/dtp"
+)
+
+var (
+	topoFlag   = flag.String("topo", "pair", "topology: pair | tree | star:N | chain:N | fattree:K")
+	durFlag    = flag.Duration("duration", 500*time.Millisecond, "simulated run length")
+	watchFlag  = flag.Duration("watch", 100*time.Millisecond, "offset report interval")
+	seedFlag   = flag.Uint64("seed", 1, "deterministic seed")
+	beaconFlag = flag.Uint64("beacon", 200, "beacon interval in ticks")
+	loadFlag   = flag.String("load", "none", "link load: none | mtu | jumbo")
+	wanderFlag = flag.Bool("wander", true, "enable oscillator wander")
+	berFlag    = flag.Float64("ber", 0, "wire bit error rate")
+)
+
+func parseTopo(s string) (dtp.Topology, error) {
+	name, arg, _ := strings.Cut(s, ":")
+	n := 0
+	if arg != "" {
+		var err error
+		if n, err = strconv.Atoi(arg); err != nil {
+			return dtp.Topology{}, fmt.Errorf("bad topology arg %q", arg)
+		}
+	}
+	switch name {
+	case "pair":
+		return dtp.Pair(), nil
+	case "tree":
+		return dtp.PaperTree(), nil
+	case "star":
+		if n == 0 {
+			n = 8
+		}
+		return dtp.Star(n), nil
+	case "chain":
+		if n == 0 {
+			n = 4
+		}
+		return dtp.Chain(n), nil
+	case "fattree":
+		if n == 0 {
+			n = 4
+		}
+		return dtp.FatTree(n), nil
+	default:
+		return dtp.Topology{}, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func main() {
+	flag.Parse()
+	g, err := parseTopo(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtpsim:", err)
+		os.Exit(2)
+	}
+	opts := []dtp.Option{
+		dtp.WithSeed(*seedFlag),
+		dtp.WithBeaconInterval(*beaconFlag),
+	}
+	if *wanderFlag {
+		opts = append(opts, dtp.WithWander(10*time.Millisecond, 100))
+	}
+	if *berFlag > 0 {
+		opts = append(opts, dtp.WithBER(*berFlag), dtp.WithParity())
+	}
+	sys, err := dtp.New(g, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtpsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("topology %s: %d devices, %d links, diameter %d, bound 4TD = %.1f ns\n",
+		*topoFlag, len(g.Nodes), len(g.Links), g.Diameter(), sys.BoundNanos())
+
+	sys.Start()
+	if err := sys.RunUntilSynced(time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "dtpsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d links measured their one-way delays at t=%v\n", len(g.Links), sys.Now())
+
+	switch *loadFlag {
+	case "mtu":
+		sys.SetUniformLoad(1522)
+		fmt.Println("links saturated with MTU frames (beacons confined to interpacket gaps)")
+	case "jumbo":
+		sys.SetUniformLoad(9022)
+		fmt.Println("links saturated with jumbo frames")
+	}
+
+	fmt.Printf("%12s %14s %14s %10s\n", "t", "max offset", "bound", "ok")
+	var worst int64
+	for elapsed := time.Duration(0); elapsed < *durFlag; elapsed += *watchFlag {
+		sys.Run(*watchFlag)
+		off := sys.MaxOffsetTicks()
+		if off > worst {
+			worst = off
+		}
+		fmt.Printf("%12v %8d ticks %8d ticks %10v\n",
+			sys.Now(), off, sys.BoundTicks(), off <= sys.BoundTicks())
+	}
+	fmt.Printf("worst offset over run: %d ticks = %.1f ns (bound %.1f ns)\n",
+		worst, float64(worst)*sys.TickNanos(), sys.BoundNanos())
+	if worst > sys.BoundTicks() {
+		os.Exit(1)
+	}
+}

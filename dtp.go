@@ -1,0 +1,389 @@
+// Package dtp is a simulation-backed implementation of the Datacenter
+// Time Protocol (Lee, Wang, Shrivastav, Weatherspoon — SIGCOMM 2016):
+// decentralized clock synchronization running inside the Ethernet
+// physical layer, achieving a bounded precision of 4TD (T = 6.4 ns at
+// 10 GbE, D = network diameter in hops) with zero packet overhead.
+//
+// The package wraps the full-fidelity model in internal/ (64b/66b PCS,
+// oscillators with ppm skew and wander, clock-domain crossings, wire
+// propagation, the DTP state machines, and software daemons) behind a
+// small API:
+//
+//	sys, _ := dtp.New(dtp.PaperTree(), dtp.WithSeed(7))
+//	sys.Start()
+//	if err := sys.RunUntilSynced(time.Second); err != nil { ... }
+//	sys.Run(100 * time.Millisecond)
+//	fmt.Printf("max offset: %.1f ns (bound %.1f ns)\n",
+//	        sys.MaxOffsetNanos(), sys.BoundNanos())
+//
+// Everything is deterministic given the seed. Simulated time is decoupled
+// from wall time: Run(d) advances the virtual clock by d.
+package dtp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dtplab/dtp/internal/core"
+	"github.com/dtplab/dtp/internal/daemon"
+	"github.com/dtplab/dtp/internal/phy"
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/topo"
+)
+
+// Topology describes the devices and cables of a DTP network.
+type Topology = topo.Graph
+
+// Speed identifies an Ethernet line rate (re-exported so callers never
+// need the internal packages).
+type Speed = phy.Speed
+
+// Supported line rates (Table 2 of the paper).
+const (
+	Speed1G   = phy.Speed1G
+	Speed10G  = phy.Speed10G
+	Speed40G  = phy.Speed40G
+	Speed100G = phy.Speed100G
+)
+
+// Pair returns two directly connected hosts (10 m cable).
+func Pair() Topology { return topo.Pair() }
+
+// PaperTree returns the SIGCOMM'16 evaluation topology (Figure 5): root
+// switch s0, switches s1–s3, hosts s4–s11.
+func PaperTree() Topology { return topo.PaperTree() }
+
+// Chain returns a linear host–switch–…–host chain with the given number
+// of hops.
+func Chain(hops int) Topology { return topo.Chain(hops) }
+
+// FatTree returns a k-ary fat-tree (k even): k^3/4 hosts, 6-hop
+// diameter for k >= 4.
+func FatTree(k int) Topology { return topo.FatTree(k) }
+
+// Star returns a single switch with n hosts plus a timeserver.
+func Star(n int) Topology { return topo.Star(n) }
+
+// Option configures a System.
+type Option func(*config)
+
+type config struct {
+	seed   uint64
+	cfg    core.Config
+	ppm    map[string]float64
+	daemon daemon.Config
+	mixed  []LinkSpeed
+}
+
+// WithSeed sets the deterministic run seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithBeaconInterval sets the resynchronization period in ticks
+// (default 200; the 4T bound analysis requires < 5000).
+func WithBeaconInterval(ticks uint64) Option {
+	return func(c *config) { c.cfg.BeaconIntervalTicks = ticks }
+}
+
+// LinkSpeed assigns an Ethernet speed to the cable between two named
+// adjacent devices.
+type LinkSpeed struct {
+	A, B  string
+	Speed Speed
+}
+
+// WithMixedSpeeds builds a mixed-rate network (§7 of the paper): the
+// listed cables run at their assigned speeds, every other cable at
+// 10 GbE, and all counters advance in 0.32 ns base units. One tick then
+// means one base unit; the per-link bound is 4 port cycles (4 × the
+// speed's Delta units).
+func WithMixedSpeeds(links ...LinkSpeed) Option {
+	return func(c *config) {
+		base := core.MixedSpeedConfig()
+		// Preserve protocol knobs the caller may have set via other
+		// options; replace only the clocking parameters.
+		base.BeaconIntervalTicks = c.cfg.BeaconIntervalTicks
+		base.BER = c.cfg.BER
+		base.Parity = c.cfg.Parity
+		base.WanderInterval = c.cfg.WanderInterval
+		base.WanderStepPPB = c.cfg.WanderStepPPB
+		c.cfg = base
+		c.mixed = append([]LinkSpeed{}, links...)
+	}
+}
+
+// WithSpeed selects the Ethernet speed; counters switch to 0.32 ns base
+// units so mixed reporting stays consistent (Table 2 of the paper).
+func WithSpeed(s Speed) Option {
+	return func(c *config) {
+		p := phy.ProfileFor(s)
+		c.cfg.Profile = p
+		c.cfg.UnitsPerTick = uint64(p.Delta)
+		c.cfg.AlphaUnits = 3 * p.Delta
+		c.cfg.GuardUnits = 8 * p.Delta
+	}
+}
+
+// WithWander enables oscillator temperature wander: a random-walk step
+// of the given ppb standard deviation every interval.
+func WithWander(interval time.Duration, stepPPB float64) Option {
+	return func(c *config) {
+		c.cfg.WanderInterval = sim.FromStd(interval)
+		c.cfg.WanderStepPPB = stepPPB
+	}
+}
+
+// WithBER sets the wire bit error rate (802.3 objective: 1e-12).
+func WithBER(ber float64) Option {
+	return func(c *config) { c.cfg.BER = ber }
+}
+
+// WithParity enables the parity bit over beacon LSBs.
+func WithParity() Option {
+	return func(c *config) { c.cfg.Parity = true }
+}
+
+// WithPPM pins named devices' oscillator offsets in ppm (|ppm| <= 100);
+// unpinned devices draw uniformly from ±100 ppm.
+func WithPPM(byName map[string]float64) Option {
+	return func(c *config) { c.ppm = byName }
+}
+
+// WithMaster enables the §5.4 extension: instead of max-coupling,
+// devices form a spanning tree rooted at the named device and follow
+// its clock — jumping forward when behind, stalling when ahead. Use it
+// when one device has a reliable oscillator (or external time source)
+// that should set the network's rate.
+func WithMaster(root string) Option {
+	return func(c *config) {
+		c.cfg.FollowMaster = true
+		c.cfg.Master = root
+	}
+}
+
+// System is a running DTP network simulation.
+type System struct {
+	sch *sim.Scheduler
+	net *core.Network
+	cfg config
+}
+
+// New builds a System over the topology.
+func New(t Topology, opts ...Option) (*System, error) {
+	c := config{seed: 1, cfg: core.DefaultConfig(), daemon: daemon.DefaultConfig()}
+	for _, o := range opts {
+		o(&c)
+	}
+	sch := sim.NewScheduler()
+	var coreOpts []core.Option
+	if c.ppm != nil {
+		coreOpts = append(coreOpts, core.WithPPM(c.ppm))
+	}
+	if c.mixed != nil {
+		byLink := map[int]phy.Speed{}
+		for _, ls := range c.mixed {
+			idx, err := findLink(t, ls.A, ls.B)
+			if err != nil {
+				return nil, err
+			}
+			byLink[idx] = ls.Speed
+		}
+		coreOpts = append(coreOpts, core.WithLinkSpeeds(byLink))
+	}
+	net, err := core.NewNetwork(sch, c.seed, t, c.cfg, coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &System{sch: sch, net: net, cfg: c}, nil
+}
+
+// findLink locates the topology link between two named devices.
+func findLink(t Topology, a, b string) (int, error) {
+	na, ok1 := t.ByName(a)
+	nb, ok2 := t.ByName(b)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("dtp: unknown device in (%s, %s)", a, b)
+	}
+	for i, l := range t.Links {
+		if (l.A == na.ID && l.B == nb.ID) || (l.A == nb.ID && l.B == na.ID) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("dtp: no cable between %s and %s", a, b)
+}
+
+// Start brings all links up; the INIT handshakes begin.
+func (s *System) Start() { s.net.Start() }
+
+// Run advances simulated time by d.
+func (s *System) Run(d time.Duration) { s.sch.RunFor(sim.FromStd(d)) }
+
+// Now returns the current simulated time since start.
+func (s *System) Now() time.Duration { return s.sch.Now().Std() }
+
+// RunUntilSynced advances time until every link has measured its delay
+// and entered the BEACON phase, or fails after max simulated time.
+func (s *System) RunUntilSynced(max time.Duration) error {
+	deadline := s.sch.Now() + sim.FromStd(max)
+	for !s.net.AllSynced() {
+		if s.sch.Now() >= deadline {
+			return fmt.Errorf("dtp: network not synchronized after %v", max)
+		}
+		s.sch.RunFor(sim.Millisecond)
+	}
+	return nil
+}
+
+// Synced reports whether every link completed INIT.
+func (s *System) Synced() bool { return s.net.AllSynced() }
+
+// TickNanos returns the duration of one counter unit in nanoseconds.
+func (s *System) TickNanos() float64 {
+	cfg := s.net.Config()
+	return float64(cfg.UnitFs()) / 1e6
+}
+
+// Counter returns the named device's DTP global counter.
+func (s *System) Counter(device string) (uint64, error) {
+	d, err := s.net.DeviceByName(device)
+	if err != nil {
+		return 0, err
+	}
+	return d.GlobalCounter(), nil
+}
+
+// OffsetTicks returns the ground-truth counter difference a-b at the
+// current instant, in counter units.
+func (s *System) OffsetTicks(a, b string) (int64, error) {
+	da, err := s.net.DeviceByName(a)
+	if err != nil {
+		return 0, err
+	}
+	db, err := s.net.DeviceByName(b)
+	if err != nil {
+		return 0, err
+	}
+	return s.net.TrueOffsetUnits(da.ID(), db.ID()), nil
+}
+
+// MaxOffsetTicks returns the worst ground-truth offset across all
+// device pairs, in counter units.
+func (s *System) MaxOffsetTicks() int64 { return s.net.MaxPairwiseOffset() }
+
+// MaxOffsetNanos returns the worst pairwise offset in nanoseconds.
+func (s *System) MaxOffsetNanos() float64 {
+	return float64(s.MaxOffsetTicks()) * s.TickNanos()
+}
+
+// BoundTicks returns the paper's 4TD precision bound in counter units.
+func (s *System) BoundTicks() int64 { return s.net.BoundUnits() }
+
+// BoundNanos returns 4TD in nanoseconds.
+func (s *System) BoundNanos() float64 {
+	return float64(s.BoundTicks()) * s.TickNanos()
+}
+
+// OnOffsetSample registers a callback receiving every protocol offset
+// measurement (t2 - t1 - OWD, in units) with the observing link
+// direction named "receiver-sender".
+func (s *System) OnOffsetSample(fn func(pair string, offsetTicks int64)) {
+	s.net.OnOffset = func(rx *core.Port, off int64) { fn(rx.PairName(), off) }
+}
+
+// SetUniformLoad saturates every link with back-to-back frames of the
+// given size, confining DTP messages to interpacket gaps.
+func (s *System) SetUniformLoad(frameOctets int) {
+	s.net.SetGateAll(func(p *core.Port) core.TxGate {
+		return core.NewSaturatedGate(frameOctets, 0)
+	})
+}
+
+// ClearLoad returns every link to idle.
+func (s *System) ClearLoad() {
+	s.net.SetGateAll(func(p *core.Port) core.TxGate { return core.OpenGate{} })
+}
+
+// linkIndex finds the topology link between two named devices.
+func (s *System) linkIndex(a, b string) (int, error) {
+	return findLink(s.net.Graph, a, b)
+}
+
+// CutLink tears down the cable between two adjacent devices (both
+// directions), e.g. to create a partition.
+func (s *System) CutLink(a, b string) error {
+	i, err := s.linkIndex(a, b)
+	if err != nil {
+		return err
+	}
+	s.net.SetLinkDown(i)
+	return nil
+}
+
+// RestoreLink re-plugs a cut cable; the ports re-run INIT and the
+// subnets re-merge via BEACON-JOIN.
+func (s *System) RestoreLink(a, b string) error {
+	i, err := s.linkIndex(a, b)
+	if err != nil {
+		return err
+	}
+	s.net.SetLinkUp(i)
+	return nil
+}
+
+// MeasuredOWDTicks returns the one-way delay the a->b port measured
+// during INIT, in counter units (-1 before INIT completes).
+func (s *System) MeasuredOWDTicks(a, b string) (int64, error) {
+	da, err := s.net.DeviceByName(a)
+	if err != nil {
+		return 0, err
+	}
+	p, err := da.PortTo(b)
+	if err != nil {
+		return 0, err
+	}
+	return p.OWDUnits(), nil
+}
+
+// Daemon is a software clock served by the DTP daemon on one host
+// (§5.1): a TSC-interpolated estimate of the NIC's DTP counter.
+type Daemon struct {
+	d *daemon.Daemon
+}
+
+// AttachDaemon starts a DTP daemon on the named host. calEvery is the
+// PCIe calibration cadence (the paper uses ~1 s; shorter values suit
+// compressed simulations).
+func (s *System) AttachDaemon(host string, calEvery time.Duration) (*Daemon, error) {
+	dev, err := s.net.DeviceByName(host)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg.daemon
+	if calEvery > 0 {
+		cfg.CalInterval = sim.FromStd(calEvery)
+	}
+	d := daemon.New(dev, cfg, s.cfg.seed+uint64(dev.ID())+1000)
+	d.Start()
+	return &Daemon{d: d}, nil
+}
+
+// Counter returns the daemon's current get_DTP_counter() estimate in
+// counter units (fractional).
+func (d *Daemon) Counter() float64 { return d.d.Estimate() }
+
+// OffsetTicks returns the daemon's current error versus the hardware
+// counter, in units.
+func (d *Daemon) OffsetTicks() float64 { return d.d.OffsetUnits() }
+
+// Graph exposes the topology for inspection.
+func (s *System) Graph() Topology { return s.net.Graph }
+
+// Devices returns the device names in topology order.
+func (s *System) Devices() []string {
+	out := make([]string, len(s.net.Graph.Nodes))
+	for i, n := range s.net.Graph.Nodes {
+		out[i] = n.Name
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package dtp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dtplab/dtp/internal/phy"
+)
+
+func newSynced(t *testing.T, topo Topology, opts ...Option) *System {
+	t.Helper()
+	sys, err := New(topo, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	if err := sys.RunUntilSynced(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := newSynced(t, Pair(), WithSeed(7),
+		WithPPM(map[string]float64{"h0": 100, "h1": -100}))
+	sys.Run(100 * time.Millisecond)
+	if got := sys.MaxOffsetNanos(); got > 25.6 {
+		t.Fatalf("pair offset %.1f ns, bound 25.6", got)
+	}
+	if sys.BoundNanos() != 25.6 {
+		t.Fatalf("bound %.1f ns", sys.BoundNanos())
+	}
+	if sys.TickNanos() != 6.4 {
+		t.Fatalf("tick %.2f ns", sys.TickNanos())
+	}
+	if sys.Now() < 100*time.Millisecond {
+		t.Fatal("Now() did not advance")
+	}
+}
+
+func TestPaperTreeWithinBound(t *testing.T) {
+	sys := newSynced(t, PaperTree(), WithSeed(3))
+	var worst int64
+	for i := 0; i < 200; i++ {
+		sys.Run(time.Millisecond)
+		if o := sys.MaxOffsetTicks(); o > worst {
+			worst = o
+		}
+	}
+	if worst > sys.BoundTicks() {
+		t.Fatalf("offset %d ticks > bound %d", worst, sys.BoundTicks())
+	}
+}
+
+func TestOffsetBetweenAndCounter(t *testing.T) {
+	sys := newSynced(t, Pair(), WithSeed(5))
+	sys.Run(10 * time.Millisecond)
+	c, err := sys.Counter("h0")
+	if err != nil || c == 0 {
+		t.Fatalf("counter: %d, %v", c, err)
+	}
+	off, err := sys.OffsetTicks("h0", "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off > 4 || off < -4 {
+		t.Fatalf("offset %d", off)
+	}
+	if _, err := sys.OffsetTicks("h0", "zz"); err == nil {
+		t.Fatal("phantom device accepted")
+	}
+	if _, err := sys.Counter("zz"); err == nil {
+		t.Fatal("phantom counter accepted")
+	}
+}
+
+func TestLoadDoesNotBreakBound(t *testing.T) {
+	sys := newSynced(t, Pair(), WithSeed(9),
+		WithPPM(map[string]float64{"h0": 100, "h1": -100}))
+	sys.SetUniformLoad(1522)
+	var worst int64
+	for i := 0; i < 100; i++ {
+		sys.Run(time.Millisecond)
+		if o := sys.MaxOffsetTicks(); o > worst {
+			worst = o
+		}
+	}
+	if worst > 4 {
+		t.Fatalf("offset under load %d ticks", worst)
+	}
+	sys.ClearLoad()
+	sys.Run(10 * time.Millisecond)
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	sys := newSynced(t, PaperTree(), WithSeed(11))
+	if err := sys.CutLink("s0", "s3"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(300 * time.Millisecond)
+	off, _ := sys.OffsetTicks("s0", "s3")
+	if off < 0 {
+		off = -off
+	}
+	if off <= 4 {
+		t.Fatalf("no drift during partition (%d ticks)", off)
+	}
+	if err := sys.RestoreLink("s0", "s3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunUntilSynced(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(20 * time.Millisecond)
+	if o := sys.MaxOffsetTicks(); o > sys.BoundTicks() {
+		t.Fatalf("offset %d after heal, bound %d", o, sys.BoundTicks())
+	}
+	if err := sys.CutLink("s0", "zz"); err == nil {
+		t.Fatal("phantom link cut accepted")
+	}
+	if err := sys.CutLink("s4", "s7"); err == nil {
+		t.Fatal("non-adjacent link cut accepted")
+	}
+	if err := sys.RestoreLink("s4", "s7"); err == nil {
+		t.Fatal("non-adjacent restore accepted")
+	}
+}
+
+func TestOffsetSamples(t *testing.T) {
+	sys := newSynced(t, Pair(), WithSeed(13))
+	n := 0
+	var worst int64
+	sys.OnOffsetSample(func(pair string, off int64) {
+		n++
+		if off < 0 {
+			off = -off
+		}
+		if off > worst {
+			worst = off
+		}
+		if pair != "h0-h1" && pair != "h1-h0" {
+			t.Errorf("unexpected pair %q", pair)
+		}
+	})
+	sys.Run(10 * time.Millisecond)
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+	if worst > 4 {
+		t.Fatalf("sample %d ticks", worst)
+	}
+}
+
+func TestMeasuredOWD(t *testing.T) {
+	sys := newSynced(t, Pair(), WithSeed(15))
+	d, err := sys.MeasuredOWDTicks("h0", "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 41 || d > 45 {
+		t.Fatalf("measured OWD %d ticks, paper range 43-45 (minus alpha bias)", d)
+	}
+}
+
+func TestDaemonOnFacade(t *testing.T) {
+	sys := newSynced(t, Pair(), WithSeed(17))
+	d, err := sys.AttachDaemon("h0", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(500 * time.Millisecond)
+	if d.Counter() == 0 {
+		t.Fatal("daemon never calibrated")
+	}
+	off := d.OffsetTicks()
+	if off < -20 || off > 20 {
+		t.Fatalf("daemon offset %.1f ticks", off)
+	}
+	if _, err := sys.AttachDaemon("zz", 0); err == nil {
+		t.Fatal("phantom daemon host accepted")
+	}
+}
+
+func TestSpeedOption(t *testing.T) {
+	sys := newSynced(t, Pair(), WithSeed(19), WithSpeed(phy.Speed100G),
+		WithPPM(map[string]float64{"h0": 100, "h1": -100}))
+	if sys.TickNanos() != 0.32 {
+		t.Fatalf("100G tick %.3f ns, want 0.32 (base units)", sys.TickNanos())
+	}
+	sys.Run(50 * time.Millisecond)
+	// Bound: 4 periods of 0.64 ns = 2.56 ns = 8 base units per hop.
+	if got := sys.MaxOffsetNanos(); got > 2.56 {
+		t.Fatalf("100G pair offset %.2f ns, bound 2.56", got)
+	}
+}
+
+func TestWanderAndParityAndBEROptions(t *testing.T) {
+	sys := newSynced(t, Pair(), WithSeed(21),
+		WithWander(10*time.Millisecond, 100),
+		WithParity(),
+		WithBER(1e-6))
+	var worst int64
+	for i := 0; i < 100; i++ {
+		sys.Run(time.Millisecond)
+		if o := sys.MaxOffsetTicks(); o > worst {
+			worst = o
+		}
+	}
+	if worst > 4 {
+		t.Fatalf("offset %d ticks with wander+parity+BER", worst)
+	}
+}
+
+func TestMasterOption(t *testing.T) {
+	// With a slow master, the whole network must run at the master's
+	// rate instead of the fastest oscillator's.
+	sys := newSynced(t, Chain(2), WithSeed(27), WithMaster("h0"),
+		WithPPM(map[string]float64{"h0": -100, "sw1": 100, "h1": 100}))
+	c0, _ := sys.Counter("h1")
+	sys.Run(time.Second)
+	c1, _ := sys.Counter("h1")
+	rate := float64(c1 - c0)
+	masterRate := 156.25e6 * (1 - 100e-6)
+	if rate > masterRate*1.00001 || rate < masterRate*0.99999 {
+		t.Fatalf("network rate %.0f, want master's %.0f", rate, masterRate)
+	}
+	if _, err := New(Pair(), WithMaster("nope")); err == nil {
+		t.Fatal("phantom master accepted")
+	}
+}
+
+func TestMixedSpeedsOption(t *testing.T) {
+	sys, err := New(Chain(3),
+		WithSeed(23),
+		WithMixedSpeeds(LinkSpeed{A: "sw1", B: "sw2", Speed: Speed40G}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TickNanos() != 0.32 {
+		t.Fatalf("mixed tick %.3f ns, want 0.32 (base units)", sys.TickNanos())
+	}
+	sys.Start()
+	if err := sys.RunUntilSynced(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var worst int64
+	for i := 0; i < 100; i++ {
+		sys.Run(time.Millisecond)
+		off, _ := sys.OffsetTicks("h0", "h1")
+		if off < 0 {
+			off = -off
+		}
+		if off > worst {
+			worst = off
+		}
+	}
+	// Per-hop bound: 4 cycles of 10G (80) + 4 of 40G (20) + 80 units.
+	if worst > 180 {
+		t.Fatalf("mixed-speed offset %d base units", worst)
+	}
+}
+
+func TestMixedSpeedsRejectsUnknownLink(t *testing.T) {
+	if _, err := New(Chain(2), WithMixedSpeeds(LinkSpeed{A: "h0", B: "nope", Speed: Speed40G})); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := New(Chain(2), WithMixedSpeeds(LinkSpeed{A: "h0", B: "h1", Speed: Speed40G})); err == nil {
+		t.Fatal("non-adjacent pair accepted")
+	}
+}
+
+func TestGraphAndDevices(t *testing.T) {
+	sys, err := New(FatTree(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Devices()) != len(sys.Graph().Nodes) {
+		t.Fatal("device list mismatch")
+	}
+	g := sys.Graph()
+	if got := g.HostDiameter(); got != 6 {
+		t.Fatalf("fat-tree diameter %d", got)
+	}
+	sysC, err := New(Chain(3))
+	if err != nil || len(sysC.Devices()) != 4 {
+		t.Fatal("chain build")
+	}
+	sysS, err := New(Star(4))
+	if err != nil || len(sysS.Devices()) != 6 {
+		t.Fatal("star build")
+	}
+}
+
+func TestRunUntilSyncedTimesOut(t *testing.T) {
+	sys, err := New(Pair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: cannot sync.
+	if err := sys.RunUntilSynced(10 * time.Millisecond); err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestWithCoreConfigValidation(t *testing.T) {
+	bad := Option(func(c *config) { c.cfg.BeaconIntervalTicks = 0 })
+	if _, err := New(Pair(), bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

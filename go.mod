@@ -1,0 +1,3 @@
+module github.com/dtplab/dtp
+
+go 1.22

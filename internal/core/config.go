@@ -1,0 +1,193 @@
+// Package core implements the Datacenter Time Protocol — the paper's
+// primary contribution. Every network port runs Algorithm 1 (INIT /
+// INIT-ACK one-way-delay measurement, then periodic BEACON
+// resynchronization); every multi-port device runs Algorithm 2 (the
+// global counter is the max of the local counters); BEACON-JOIN handles
+// devices and partitions joining a running network; BEACON-MSB carries
+// the upper half of the 106-bit counter.
+//
+// The protocol operates on counters driven by free-running oscillators
+// (internal/xo) and exchanges messages embedded in idle /E/ blocks
+// (internal/phy) across wires with propagation delay and bit errors
+// (internal/link). There are no Ethernet packets anywhere in this
+// package: DTP's network overhead is exactly zero, as in the paper.
+package core
+
+import (
+	"fmt"
+
+	"github.com/dtplab/dtp/internal/phy"
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// simTime is a local alias to keep signatures in this package short.
+type simTime = sim.Time
+
+// Config holds protocol and PHY-model parameters. The zero value is not
+// usable; call DefaultConfig.
+type Config struct {
+	// Profile selects the Ethernet speed (Table 2). Default 10 GbE.
+	Profile phy.Profile
+
+	// UnitsPerTick is the counter increment per PCS clock tick. 1 for a
+	// homogeneous 10 GbE network (the paper's deployment); set it to
+	// Profile.Delta to count in 0.32 ns base units for mixed-speed
+	// networks (§7).
+	UnitsPerTick uint64
+
+	// BeaconIntervalTicks is the resynchronization period in ticks of
+	// the sender's clock. The paper uses 200 (every MTU-frame gap) and
+	// 1200 (jumbo); the analysis requires < 5000 for the two-tick bound.
+	BeaconIntervalTicks uint64
+
+	// AlphaUnits is the α subtracted from the measured RTT before
+	// halving (T2 of Algorithm 1), compensating for the nondeterministic
+	// clock-domain-crossing delays so the measured one-way delay never
+	// exceeds the true delay. The paper derives α = 3.
+	AlphaUnits int64
+
+	// GuardUnits is the bit-error guard: BEACON messages moving the
+	// counter forward by more than this many units are ignored
+	// (§3.2 "Handling failures" — "off by more than eight").
+	GuardUnits int64
+
+	// Parity enables the even-parity bit over the three least
+	// significant payload bits, trading one payload bit for error
+	// detection.
+	Parity bool
+
+	// FragmentedMessages selects the 1 GbE adaptation (§7): a message
+	// is split across four consecutive idle ordered sets (8b/10b has no
+	// 56-bit idle block). The standard's 12-byte interpacket gap fits a
+	// whole message, so fragments always travel back to back.
+	FragmentedMessages bool
+
+	// TxPipelineTicks and RxPipelineTicks are the deterministic PCS
+	// pipeline depths (encoder/scrambler/gearbox and their inverses).
+	TxPipelineTicks int
+	RxPipelineTicks int
+
+	// AckTurnaroundTicks is the deterministic delay between processing
+	// an INIT and inserting the INIT-ACK. It is part of the measured
+	// RTT, so together with α it sets where the measured OWD lands
+	// relative to the true transit.
+	AckTurnaroundTicks int
+
+	// CDCMaxExtraTicks bounds the synchronization-FIFO delay when a
+	// message crosses from the recovered (RX) clock domain into the
+	// local domain: 0..CDCMaxExtraTicks whole local ticks are added on
+	// top of edge alignment. The standard two-flop synchronizer gives 1.
+	CDCMaxExtraTicks int
+
+	// CDCSetupFraction models *when* the synchronizer adds its extra
+	// cycle: if the data lands within this fraction of a period before
+	// the capturing edge, the setup time is violated and the FIFO takes
+	// one more cycle. Because the two clock domains beat slowly against
+	// each other, the extra cycle is a quasi-static function of phase —
+	// not an independent coin flip per message — which is what keeps
+	// worst cases from compounding across INIT measurement and beacons.
+	CDCSetupFraction float64
+
+	// CDCJitterFs is the width of the metastability band around the
+	// setup threshold within which the outcome is genuinely random.
+	CDCJitterFs int64
+
+	// MsbEveryBeacons is how many BEACONs pass between BEACON-MSB
+	// transmissions of the counter's upper bits.
+	MsbEveryBeacons int
+
+	// FaultyJumpLimit and FaultyWindowTicks implement faulty-peer
+	// detection: if more than FaultyJumpLimit guard-violating beacons
+	// arrive within FaultyWindowTicks, the port stops synchronizing to
+	// its peer.
+	FaultyJumpLimit   int
+	FaultyWindowTicks uint64
+
+	// MaxTreeLatencyTicks models the depth of the max-computation tree
+	// inside a multi-port device (§4.3): a port's received counter takes
+	// this many ticks to reach the global counter. 0 = instantaneous.
+	MaxTreeLatencyTicks int
+
+	// PPMRange is the half-width of the uniform distribution oscillator
+	// offsets are drawn from, in ppm. Must be <= 100 (the 802.3 bound).
+	PPMRange float64
+
+	// WanderInterval and WanderStepPPB configure slow oscillator drift.
+	// Zero disables wander.
+	WanderInterval sim.Time
+	WanderStepPPB  float64
+
+	// BER is the per-bit error rate on every wire.
+	BER float64
+
+	// JoinDelayTicks is how long after INIT-ACK a port waits before
+	// sending BEACON-JOIN, leaving time for the peer to finish its own
+	// delay measurement.
+	JoinDelayTicks uint64
+
+	// FollowMaster enables the §5.4 extension ("following the fastest
+	// clock"): instead of max-coupling, devices form a spanning tree
+	// rooted at Master and each follows the remote counter of its
+	// parent — jumping forward when behind, stalling when ahead. The
+	// network then tracks the master's oscillator rather than the
+	// fastest oscillator, at the cost of a single point of reference.
+	FollowMaster bool
+	// Master names the root device (required when FollowMaster).
+	Master string
+}
+
+// DefaultConfig returns the configuration matching the paper's testbed:
+// 10 GbE, beacon every 200 ticks, α = 3, eight-tick guard.
+func DefaultConfig() Config {
+	return Config{
+		Profile:             phy.ProfileFor(phy.Speed10G),
+		UnitsPerTick:        1,
+		BeaconIntervalTicks: 200,
+		AlphaUnits:          3,
+		GuardUnits:          8,
+		Parity:              false,
+		TxPipelineTicks:     phy.DefaultTxPipelineTicks,
+		RxPipelineTicks:     phy.DefaultRxPipelineTicks,
+		AckTurnaroundTicks:  3,
+		CDCMaxExtraTicks:    1,
+		CDCSetupFraction:    0.15,
+		CDCJitterFs:         200_000, // 200 ps metastability band
+		MsbEveryBeacons:     100_000,
+		FaultyJumpLimit:     16,
+		FaultyWindowTicks:   1_000_000,
+		PPMRange:            100,
+		JoinDelayTicks:      2_000,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Profile.PeriodFs <= 0 {
+		return fmt.Errorf("core: config has no PHY profile")
+	}
+	if c.UnitsPerTick == 0 {
+		return fmt.Errorf("core: UnitsPerTick must be >= 1")
+	}
+	if c.BeaconIntervalTicks == 0 {
+		return fmt.Errorf("core: beacon interval must be >= 1 tick")
+	}
+	if c.PPMRange < 0 || c.PPMRange > 100 {
+		return fmt.Errorf("core: PPMRange %v outside [0, 100]", c.PPMRange)
+	}
+	if c.CDCMaxExtraTicks < 0 {
+		return fmt.Errorf("core: negative CDC bound")
+	}
+	if c.FollowMaster && c.Master == "" {
+		return fmt.Errorf("core: FollowMaster requires a Master name")
+	}
+	return nil
+}
+
+// UnitFs returns the duration of one counter unit in femtoseconds.
+func (c *Config) UnitFs() int64 {
+	return c.Profile.PeriodFs / int64(c.UnitsPerTick)
+}
+
+// UnitsToNs converts counter units to nanoseconds for reporting.
+func (c *Config) UnitsToNs(units int64) float64 {
+	return float64(units) * float64(c.UnitFs()) / 1e6
+}

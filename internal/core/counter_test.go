@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/xo"
+)
+
+func newCounterFixture(delta uint64) (*sim.Scheduler, *unitCounter) {
+	sch := sim.NewScheduler()
+	clk := xo.NewClock(sch, sim.NewRNG(1, "uc"), xo.Default10G(0))
+	return sch, newUnitCounter(clk, delta)
+}
+
+func TestUnitCounterAdvancesByDelta(t *testing.T) {
+	sch, u := newCounterFixture(20)
+	sch.Run(sim.Microsecond)
+	// 1us / 6.4ns = 156.25 ticks -> 156 ticks * 20 units.
+	got := u.at(sch.Now())
+	if got != 156*20 {
+		t.Fatalf("counter = %d, want %d", got, 156*20)
+	}
+}
+
+func TestUnitCounterSetAtForward(t *testing.T) {
+	sch, u := newCounterFixture(1)
+	sch.Run(sim.Microsecond)
+	now := sch.Now()
+	u.setAt(u.at(now)+42, now)
+	if got := u.at(now); got != 156+42 {
+		t.Fatalf("after jump counter = %d, want %d", got, 156+42)
+	}
+	// Rate resumes unchanged.
+	sch.Run(2 * sim.Microsecond)
+	if got := u.at(sch.Now()); got != 156+42+156 {
+		t.Fatalf("after jump + 1us = %d, want %d", got, 156+42+156)
+	}
+}
+
+func TestUnitCounterSetAtBackwardPanics(t *testing.T) {
+	sch, u := newCounterFixture(1)
+	sch.Run(sim.Microsecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward jump did not panic")
+		}
+	}()
+	u.setAt(u.at(sch.Now())-1, sch.Now())
+}
+
+func TestUnitCounterTimeOfValue(t *testing.T) {
+	sch, u := newCounterFixture(20)
+	sch.Run(sim.Microsecond)
+	target := u.at(sch.Now()) + 1000
+	at := u.timeOfValue(target)
+	if got := u.at(at); got < target {
+		t.Fatalf("at(timeOfValue(%d)) = %d", target, got)
+	}
+}
+
+func TestReconstructNearExact(t *testing.T) {
+	cases := []struct {
+		local, lsb uint64
+		bits       uint
+		want       uint64
+	}{
+		{1000, 1000, 53, 1000},
+		{1000, 998, 53, 998},
+		{1000, 1003, 53, 1003},
+		// Wrap-around: local just past a 2^8 boundary, lsb just before.
+		{0x105, 0xfe, 8, 0xfe},
+		// Local just before a boundary, lsb just after.
+		{0xfe, 0x02, 8, 0x102},
+		// Same at the 2^53 boundary DTP actually uses.
+		{1<<53 + 3, 1<<53 - 2, 53, 1<<53 - 2},
+		{1<<53 - 2, 2, 53, 1<<53 + 2},
+		// Very large counters (second wrap).
+		{5<<53 + 7, 4, 53, 5<<53 + 4},
+	}
+	for _, c := range cases {
+		if got := reconstructNear(c.local, c.lsb, c.bits); got != c.want {
+			t.Errorf("reconstructNear(%#x, %#x, %d) = %#x, want %#x", c.local, c.lsb, c.bits, got, c.want)
+		}
+	}
+}
+
+// Property: reconstruction recovers any true value within a quarter
+// modulus of the local counter.
+func TestReconstructNearProperty(t *testing.T) {
+	f := func(local uint64, delta int32) bool {
+		const bits = 53
+		mod := uint64(1) << bits
+		local %= mod << 4 // keep headroom for +mod
+		d := int64(delta) % int64(mod/4)
+		truth := int64(local) + d
+		if truth < 0 {
+			return true
+		}
+		got := reconstructNear(local, uint64(truth)&(mod-1), bits)
+		return got == uint64(truth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenGate(t *testing.T) {
+	g := OpenGate{}
+	for _, w := range []uint64{0, 1, 12345} {
+		if g.NextSlot(w) != w {
+			t.Fatal("OpenGate delayed a slot")
+		}
+	}
+}
+
+func TestSaturatedGateSlots(t *testing.T) {
+	g := SaturatedGate{FrameBlocks: 200, Phase: 10}
+	cases := []struct{ want, slot uint64 }{
+		{0, 10}, {10, 10}, {11, 210}, {210, 210}, {211, 410}, {409, 410},
+	}
+	for _, c := range cases {
+		if got := g.NextSlot(c.want); got != c.slot {
+			t.Fatalf("NextSlot(%d) = %d, want %d", c.want, got, c.slot)
+		}
+	}
+}
+
+func TestSaturatedGateFromFrameSize(t *testing.T) {
+	g := NewSaturatedGate(1522, 0)
+	// MTU frames: ~193 blocks per frame incl. IPG — one beacon slot per
+	// frame, ~200 ticks, matching §4.4.
+	if g.FrameBlocks < 185 || g.FrameBlocks > 200 {
+		t.Fatalf("MTU gate frame blocks = %d", g.FrameBlocks)
+	}
+	j := NewSaturatedGate(9022, 0)
+	if j.FrameBlocks < 1120 || j.FrameBlocks > 1200 {
+		t.Fatalf("jumbo gate frame blocks = %d", j.FrameBlocks)
+	}
+}
+
+// Property: every gate returns a slot at or after the requested tick,
+// and deterministic gates are monotone when driven past the last slot
+// (the way the beacon scheduler drives them).
+func TestGateSlotProperty(t *testing.T) {
+	rng := sim.NewRNG(3, "gate")
+	f := func(deltas []uint8) bool {
+		gates := []TxGate{
+			OpenGate{},
+			SaturatedGate{FrameBlocks: 200, Phase: 7},
+			NewRandomLoadGate(1522, 0.5, rng),
+		}
+		for _, g := range gates {
+			want := uint64(0)
+			for _, d := range deltas {
+				want += uint64(d) + 1
+				slot := g.NextSlot(want)
+				if slot < want {
+					return false
+				}
+				want = slot // next request comes after this slot
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomLoadGateExtremes(t *testing.T) {
+	rng := sim.NewRNG(4, "gate2")
+	free := NewRandomLoadGate(1522, 0, rng)
+	if free.NextSlot(77) != 77 {
+		t.Fatal("zero-load gate delayed a slot")
+	}
+	busy := NewRandomLoadGate(1522, 0.9, rng)
+	delayed := 0
+	for i := 0; i < 100; i++ {
+		if busy.NextSlot(1000) > 1000 {
+			delayed++
+		}
+	}
+	if delayed < 70 {
+		t.Fatalf("0.9-load gate delayed only %d/100 slots", delayed)
+	}
+}

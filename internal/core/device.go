@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/topo"
+	"github.com/dtplab/dtp/internal/xo"
+)
+
+// Device is a DTP-enabled network device: a NIC or a switch. One
+// oscillator drives every port of the device (commodity switches feed all
+// ports from a single clock source, §2.5), and the device maintains the
+// global counter of Algorithm 2: it advances every tick and is the max of
+// all port-local counters.
+//
+// Because a counter adjustment is always max(...), and every port of the
+// device shares the oscillator, the per-port local counters and the
+// global counter collapse into a single monotone counter that any port
+// may push forward; an optional max-tree latency models the cycles a
+// hardware max circuit takes to propagate a port's value to the global
+// counter.
+type Device struct {
+	net   *Network
+	node  topo.Node
+	clock *xo.Clock
+	gc    *unitCounter
+	ports []*Port
+}
+
+func newDevice(n *Network, node topo.Node, offsetPPM float64, rng *sim.RNG) *Device {
+	params := xo.Params{
+		NominalPeriodFs: n.cfg.Profile.PeriodFs,
+		OffsetPPM:       offsetPPM,
+		WanderInterval:  n.cfg.WanderInterval,
+		WanderStepPPB:   n.cfg.WanderStepPPB,
+	}
+	clk := xo.NewClock(n.Sch, rng.Fork("xo"), params)
+	return &Device{
+		net:   n,
+		node:  node,
+		clock: clk,
+		gc:    newUnitCounter(clk, n.cfg.UnitsPerTick),
+	}
+}
+
+// Name returns the device's topology name (e.g. "s3").
+func (d *Device) Name() string { return d.node.Name }
+
+// ID returns the device's topology node ID.
+func (d *Device) ID() int { return d.node.ID }
+
+// Kind returns whether the device is a host NIC or a switch.
+func (d *Device) Kind() topo.Kind { return d.node.Kind }
+
+// Ports returns the device's DTP ports.
+func (d *Device) Ports() []*Port { return d.ports }
+
+// Clock exposes the device oscillator (read-only use intended).
+func (d *Device) Clock() *xo.Clock { return d.clock }
+
+// GlobalCounter returns the DTP global counter at the current time.
+func (d *Device) GlobalCounter() uint64 { return d.gc.at(d.net.Sch.Now()) }
+
+// GlobalCounterAt returns the DTP global counter at time t.
+func (d *Device) GlobalCounterAt(t simTime) uint64 { return d.gc.at(t) }
+
+// PPM returns the device oscillator's current frequency offset.
+func (d *Device) PPM() float64 { return d.clock.PPM() }
+
+// jump requests a forward adjustment of the global counter to target
+// (Algorithm 1 T4 / Algorithm 2 T5). If join is set, the adjustment came
+// from a BEACON-JOIN and is propagated to every other active port so the
+// whole subnet converges to the new maximum (§3.2 "Network dynamics").
+func (d *Device) jump(target uint64, from *Port, join bool) {
+	apply := func() {
+		now := d.net.Sch.Now()
+		if target <= d.gc.at(now) {
+			return
+		}
+		d.gc.setAt(target, now)
+		if join {
+			for _, p := range d.ports {
+				if p != from && p.state == portSynced {
+					p.sendJoinPair()
+				}
+			}
+		}
+	}
+	if lat := d.net.cfg.MaxTreeLatencyTicks; lat > 0 {
+		d.net.Sch.After(d.tickDur(lat), apply)
+	} else {
+		apply()
+	}
+}
+
+// stall holds the global counter at its current value until `excess`
+// units have been absorbed (§5.4): the device's oscillator outran its
+// master, so it loses exactly the surplus ticks and then resumes.
+func (d *Device) stall(excess uint64, at simTime) {
+	d.gc.stallBy(excess, at)
+}
+
+// tickDur converts n of this device's clock ticks to simulated time at
+// the oscillator's current rate.
+func (d *Device) tickDur(n int) simTime {
+	return sim.Femto(int64(n) * d.clock.PeriodFs())
+}
+
+// PortTo returns the port connected to the named peer device.
+func (d *Device) PortTo(peer string) (*Port, error) {
+	for _, p := range d.ports {
+		if p.peer != nil && p.peer.dev.Name() == peer {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("core: %s has no port to %s", d.Name(), peer)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"github.com/dtplab/dtp/internal/phy"
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// TxGate models when the transmit path has an idle /E/ block available
+// for a DTP message. The standard guarantees at least one /E/ block per
+// interpacket gap, so even a fully saturated link offers one message slot
+// per frame (§4.4); an idle link offers a slot every tick.
+//
+// NextSlot returns a slot >= want. Callers drive it with strictly
+// increasing `want` values (the next beacon is always requested after
+// the previous slot), so no cross-query ordering is required.
+type TxGate interface {
+	NextSlot(want uint64) uint64
+}
+
+// OpenGate is an idle link: every tick carries an /E/ block.
+type OpenGate struct{}
+
+// NextSlot returns want: the link is always free.
+func (OpenGate) NextSlot(want uint64) uint64 { return want }
+
+// SaturatedGate models a link fully loaded with back-to-back frames of a
+// fixed size: message slots exist only in the interpacket gap, i.e. once
+// every BlocksPerFrame ticks. This is the paper's "heavily loaded"
+// condition: beacon opportunities every ~200 ticks for MTU frames,
+// ~1200 for jumbo.
+type SaturatedGate struct {
+	FrameBlocks uint64 // blocks (= ticks) per frame including IPG
+	Phase       uint64 // tick offset of the first gap
+}
+
+// NewSaturatedGate builds a gate for back-to-back frames of the given
+// octet size.
+func NewSaturatedGate(frameOctets int, phase uint64) SaturatedGate {
+	return SaturatedGate{FrameBlocks: uint64(phy.BlocksPerFrame(frameOctets)), Phase: phase}
+}
+
+// NextSlot returns the first interpacket gap at or after want.
+func (g SaturatedGate) NextSlot(want uint64) uint64 {
+	if g.FrameBlocks <= 1 {
+		return want
+	}
+	if want <= g.Phase {
+		return g.Phase
+	}
+	k := (want - g.Phase + g.FrameBlocks - 1) / g.FrameBlocks
+	return g.Phase + k*g.FrameBlocks
+}
+
+// RandomLoadGate models partial load: each frame-sized slot is occupied
+// with probability Load; a message waits for the first free slot. At
+// Load 0 it behaves like OpenGate quantized to frame slots; at Load 1 it
+// degenerates to SaturatedGate.
+type RandomLoadGate struct {
+	FrameBlocks uint64
+	Load        float64
+	rng         *sim.RNG
+}
+
+// NewRandomLoadGate builds a partial-load gate.
+func NewRandomLoadGate(frameOctets int, load float64, rng *sim.RNG) *RandomLoadGate {
+	return &RandomLoadGate{
+		FrameBlocks: uint64(phy.BlocksPerFrame(frameOctets)),
+		Load:        load,
+		rng:         rng,
+	}
+}
+
+// NextSlot walks frame slots from want until one is free.
+func (g *RandomLoadGate) NextSlot(want uint64) uint64 {
+	slot := want
+	for g.rng.Bool(g.Load) {
+		slot += g.FrameBlocks
+	}
+	return slot
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dtplab/dtp/internal/link"
+	"github.com/dtplab/dtp/internal/phy"
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/topo"
+)
+
+// Network is a DTP-enabled network instantiated from a topology graph:
+// one Device per node, a pair of Ports (and wires) per link.
+type Network struct {
+	Sch   *sim.Scheduler
+	Graph topo.Graph
+
+	cfg   Config
+	rng   *sim.RNG
+	codec phy.Codec
+
+	Devices []*Device
+	// linkPorts[i] holds the two ports of Graph.Links[i], in (A, B)
+	// node order.
+	linkPorts [][2]*Port
+
+	// OnOffset, if set, is invoked for every processed beacon with the
+	// receiving port and the hardware offset sample
+	// offset = t2 - t1 - OWD (§6.2), in counter units.
+	OnOffset func(rx *Port, offsetUnits int64)
+}
+
+// Option customizes network construction.
+type Option func(*networkOptions)
+
+type networkOptions struct {
+	ppmByName  map[string]float64
+	linkSpeeds map[int]phy.Speed
+}
+
+// WithPPM pins specific devices' oscillator offsets (by topology name)
+// instead of drawing them from the uniform distribution. Used by tests
+// and worst-case bound experiments.
+func WithPPM(byName map[string]float64) Option {
+	return func(o *networkOptions) { o.ppmByName = byName }
+}
+
+// WithLinkSpeeds builds a mixed-speed network (§7): the map assigns an
+// Ethernet speed to topology link indices (unassigned links run at the
+// map's implicit default, 10 GbE). Requires the base-clock
+// configuration (see MixedSpeedConfig): every device counts 0.32 ns
+// base units, and each port advances by its speed's Delta per cycle.
+func WithLinkSpeeds(byLink map[int]phy.Speed) Option {
+	return func(o *networkOptions) { o.linkSpeeds = byLink }
+}
+
+// MixedSpeedConfig returns a configuration for mixed-speed networks:
+// devices run the 0.32 ns common base clock; α and the guard are
+// expressed per port cycle and scaled by each port's Delta.
+//
+// α is 5 cycles rather than the homogeneous network's 3: at 10 GbE the
+// synchronization-FIFO fill asymmetry between the two directions and
+// the complementary edge alignments amount to sub-tick quantities the
+// integer arithmetic absorbs, but at pd base-ticks per cycle they can
+// inflate the measured RTT by up to two whole cycles. Two extra cycles
+// of α keep the measured delay at or below the weaker direction's
+// minimum transit, which is the no-ratchet condition (§3.3).
+func MixedSpeedConfig() Config {
+	c := DefaultConfig()
+	c.Profile = phy.BaseProfile()
+	c.UnitsPerTick = 1
+	c.AlphaUnits = 5
+	c.GuardUnits = 8
+	return c
+}
+
+// NewNetwork builds a DTP network over the graph. Oscillator offsets are
+// drawn uniformly from ±cfg.PPMRange unless pinned via WithPPM.
+func NewNetwork(sch *sim.Scheduler, seed uint64, graph topo.Graph, cfg Config, opts ...Option) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := graph.Validate(); err != nil {
+		return nil, err
+	}
+	var o networkOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n := &Network{
+		Sch:   sch,
+		Graph: graph,
+		cfg:   cfg,
+		rng:   sim.NewRNG(seed, "core/network"),
+		codec: phy.Codec{Parity: cfg.Parity},
+	}
+	for _, node := range graph.Nodes {
+		drng := n.rng.Fork("dev/" + node.Name)
+		ppm, pinned := o.ppmByName[node.Name]
+		if !pinned {
+			ppm = drng.Uniform(-cfg.PPMRange, cfg.PPMRange)
+		}
+		n.Devices = append(n.Devices, newDevice(n, node, ppm, drng))
+	}
+	// In master mode, compute each node's parent hop toward the root so
+	// ports can be marked as uplinks.
+	var parentLink []int
+	if cfg.FollowMaster {
+		root, ok := graph.ByName(cfg.Master)
+		if !ok {
+			return nil, fmt.Errorf("core: FollowMaster root %q not in topology", cfg.Master)
+		}
+		next := graph.NextHop()
+		parentLink = make([]int, len(graph.Nodes))
+		for i := range graph.Nodes {
+			parentLink[i] = next[i][root.ID] // -1 for the root itself
+		}
+	}
+	for li, l := range graph.Links {
+		a, b := n.Devices[l.A], n.Devices[l.B]
+		delay := link.DelayForLength(l.LengthM)
+		wireAB := link.New(sch, n.rng.Fork(fmt.Sprintf("wire/%d/ab", li)), link.Config{Delay: delay, BER: cfg.BER})
+		wireBA := link.New(sch, n.rng.Fork(fmt.Sprintf("wire/%d/ba", li)), link.Config{Delay: delay, BER: cfg.BER})
+		// Port cycle granularity: 1 in homogeneous networks; the link
+		// speed's Delta when devices run the 0.32 ns base clock.
+		pd := uint64(1)
+		fragmented := cfg.FragmentedMessages
+		if o.linkSpeeds != nil {
+			if cfg.Profile.PeriodFs != phy.BaseTickFs || cfg.UnitsPerTick != 1 {
+				return nil, fmt.Errorf("core: WithLinkSpeeds requires the base-clock config (MixedSpeedConfig)")
+			}
+			speed, ok := o.linkSpeeds[li]
+			if !ok {
+				speed = phy.Speed10G
+			}
+			pd = uint64(phy.ProfileFor(speed).Delta)
+			fragmented = fragmented || speed == phy.Speed1G
+		}
+		pa := &Port{dev: a, idx: len(a.ports), wire: wireAB, rng: n.rng.Fork(fmt.Sprintf("port/%d/a", li)), gate: OpenGate{}, owdUnits: -1, pd: pd, fragmented: fragmented}
+		pb := &Port{dev: b, idx: len(b.ports), wire: wireBA, rng: n.rng.Fork(fmt.Sprintf("port/%d/b", li)), gate: OpenGate{}, owdUnits: -1, pd: pd, fragmented: fragmented}
+		pa.peer, pb.peer = pb, pa
+		if parentLink != nil {
+			pa.uplink = parentLink[l.A] == li
+			pb.uplink = parentLink[l.B] == li
+		}
+		a.ports = append(a.ports, pa)
+		b.ports = append(b.ports, pb)
+		n.linkPorts = append(n.linkPorts, [2]*Port{pa, pb})
+	}
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Start brings every link up within the first microsecond, lightly
+// staggered so INIT handshakes do not run in lockstep.
+func (n *Network) Start() {
+	for _, lp := range n.linkPorts {
+		pa, pb := lp[0], lp[1]
+		n.Sch.At(n.rng.UniformTime(0, sim.Microsecond), pa.Up)
+		n.Sch.At(n.rng.UniformTime(0, sim.Microsecond), pb.Up)
+	}
+}
+
+// LinkPorts returns the two ports of topology link i.
+func (n *Network) LinkPorts(i int) (*Port, *Port) {
+	return n.linkPorts[i][0], n.linkPorts[i][1]
+}
+
+// SetLinkUp / SetLinkDown control both directions of topology link i,
+// modelling cable plug/pull and network partitions.
+func (n *Network) SetLinkUp(i int) {
+	n.linkPorts[i][0].Up()
+	n.linkPorts[i][1].Up()
+}
+
+// SetLinkDown tears down both ports of topology link i.
+func (n *Network) SetLinkDown(i int) {
+	n.linkPorts[i][0].Down()
+	n.linkPorts[i][1].Down()
+}
+
+// SetGateAll installs a transmit gate on every port, e.g. a saturated-
+// link model for the heavy-load experiments.
+func (n *Network) SetGateAll(factory func(p *Port) TxGate) {
+	for _, lp := range n.linkPorts {
+		lp[0].SetGate(factory(lp[0]))
+		lp[1].SetGate(factory(lp[1]))
+	}
+}
+
+// DeviceByName returns the device for a topology node name.
+func (n *Network) DeviceByName(name string) (*Device, error) {
+	node, ok := n.Graph.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: no node named %q", name)
+	}
+	return n.Devices[node.ID], nil
+}
+
+// TrueOffsetUnits returns the ground-truth counter difference
+// c_a(t) - c_b(t) between two devices at the current instant — the
+// quantity the paper's ε bounds (§2.1, eq. 1). This is the simulator's
+// omniscient view; the protocol itself can only estimate it.
+func (n *Network) TrueOffsetUnits(a, b int) int64 {
+	t := n.Sch.Now()
+	return int64(n.Devices[a].gc.at(t)) - int64(n.Devices[b].gc.at(t))
+}
+
+// MaxAdjacentOffset returns the largest |true offset| across directly
+// connected pairs, in counter units.
+func (n *Network) MaxAdjacentOffset() int64 {
+	var max int64
+	for _, l := range n.Graph.Links {
+		o := n.TrueOffsetUnits(l.A, l.B)
+		if o < 0 {
+			o = -o
+		}
+		if o > max {
+			max = o
+		}
+	}
+	return max
+}
+
+// MaxPairwiseOffset returns the largest |true offset| across all device
+// pairs — the network-wide ε.
+func (n *Network) MaxPairwiseOffset() int64 {
+	var max int64
+	for i := range n.Devices {
+		for j := i + 1; j < len(n.Devices); j++ {
+			o := n.TrueOffsetUnits(i, j)
+			if o < 0 {
+				o = -o
+			}
+			if o > max {
+				max = o
+			}
+		}
+	}
+	return max
+}
+
+// AllSynced reports whether every port of every link has completed its
+// delay measurement.
+func (n *Network) AllSynced() bool {
+	for _, lp := range n.linkPorts {
+		if lp[0].state != portSynced || lp[1].state != portSynced {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundUnits returns the paper's precision bound 4TD expressed in
+// counter units for this network: 4 units of error per hop times the
+// host-relevant diameter.
+func (n *Network) BoundUnits() int64 {
+	return 4 * int64(n.cfg.UnitsPerTick) * int64(n.Graph.Diameter())
+}

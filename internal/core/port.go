@@ -1,0 +1,564 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dtplab/dtp/internal/link"
+	"github.com/dtplab/dtp/internal/phy"
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// portState tracks where a port is in Algorithm 1.
+type portState int
+
+const (
+	portDown   portState = iota
+	portInit             // INIT sent, waiting for INIT-ACK
+	portSynced           // one-way delay measured, beacons flowing
+)
+
+func (s portState) String() string {
+	switch s {
+	case portDown:
+		return "down"
+	case portInit:
+		return "init"
+	case portSynced:
+		return "synced"
+	default:
+		return fmt.Sprintf("portState(%d)", int(s))
+	}
+}
+
+// Port is one DTP-enabled network port. It owns the outbound wire toward
+// its peer, the Algorithm 1 state machine, and per-port failure handling.
+type Port struct {
+	dev  *Device
+	idx  int
+	peer *Port
+	wire *link.Wire // outbound direction
+	rng  *sim.RNG
+	gate TxGate
+
+	state portState
+	// owdUnits is the one-way delay measured during INIT, in counter
+	// units; -1 until measured.
+	owdUnits int64
+	// initOutstanding maps the masked counter value embedded in each
+	// in-flight INIT to its full value, so ACK echoes can be paired.
+	initOutstanding map[uint64]uint64
+	// initRTTs collects the RTT samples of this INIT round; the final
+	// OWD uses the minimum, which carries the least CDC noise.
+	initRTTs  []int64
+	initEvent *sim.Event // retry timer
+
+	beaconEvent *sim.Event
+	beaconsSent uint64
+
+	// Received-MSB state for reconstructing full 106-bit counters.
+	peerMsb     uint64
+	havePeerMsb bool
+	pendingJoin *uint64 // JOIN that arrived before our OWD was measured
+
+	// cdcFill is the synchronization-FIFO fill level latched when the
+	// link came up: the "one random delay" of §2.5. Like a PCS elastic
+	// buffer, the fill level is constant for the life of the link
+	// session; only arrivals inside the metastability band dither.
+	cdcFill int
+
+	// uplink marks the port leading toward the master in §5.4 mode; only
+	// uplink ports adjust the device counter then.
+	uplink bool
+
+	// asm reassembles 1 GbE message fragments (nil until first use).
+	asm *phy.Assembler
+
+	// pd is the number of device clock ticks per port cycle: 1 in a
+	// homogeneous network (the device clock IS the port clock), or the
+	// port speed's Delta in a mixed-speed network whose devices run a
+	// 0.32 ns base clock (§7). All PHY-timed arithmetic — insertion
+	// slots, pipeline delays, beacon cadence, CDC alignment — works in
+	// port cycles of pd device ticks.
+	pd uint64
+	// fragmented selects the 1 GbE fragment encoding for this port.
+	fragmented bool
+
+	// Failure handling (§3.2): guard violations within a sliding window
+	// mark the peer faulty.
+	faulty          bool
+	violationCount  int
+	violationWindow uint64 // tick at which the current window started
+
+	// Stats.
+	beaconsReceived uint64
+	beaconsIgnored  uint64
+	jumps           uint64
+}
+
+// Name identifies the port for diagnostics, e.g. "s1[2]".
+func (p *Port) Name() string { return fmt.Sprintf("%s[%d]", p.dev.Name(), p.idx) }
+
+// PairName identifies the link direction receiver-sender, matching the
+// paper's figure labels (offsets measured at this port about its peer).
+func (p *Port) PairName() string { return p.dev.Name() + "-" + p.peer.dev.Name() }
+
+// Device returns the port's owning device.
+func (p *Port) Device() *Device { return p.dev }
+
+// Peer returns the port at the far end of the cable.
+func (p *Port) Peer() *Port { return p.peer }
+
+// OWDUnits returns the one-way delay measured during INIT, in counter
+// units, or -1 if not yet measured.
+func (p *Port) OWDUnits() int64 { return p.owdUnits }
+
+// State exposes the protocol state (for tests and monitoring).
+func (p *Port) State() string { return p.state.String() }
+
+// Faulty reports whether this port has declared its peer faulty and
+// stopped synchronizing to it.
+func (p *Port) Faulty() bool { return p.faulty }
+
+// Stats returns beacon counters: sent, received, ignored (guard or
+// parity violations), and counter jumps caused by this port.
+func (p *Port) Stats() (sent, received, ignored, jumps uint64) {
+	return p.beaconsSent, p.beaconsReceived, p.beaconsIgnored, p.jumps
+}
+
+// SetGate replaces the port's transmit gate (traffic model).
+func (p *Port) SetGate(g TxGate) { p.gate = g }
+
+// --- Link bring-up ---------------------------------------------------
+
+// Up starts Algorithm 1 on this port: transition T0, "after the link is
+// established with p". Both ends must be brought up for the handshake to
+// complete; each direction measures its own delay.
+func (p *Port) Up() {
+	if p.state != portDown {
+		return
+	}
+	p.state = portInit
+	p.faulty = false
+	p.violationCount = 0
+	if max := p.cfg().CDCMaxExtraTicks; max > 0 {
+		p.cdcFill = p.rng.IntN(max + 1)
+	}
+	p.sendInit()
+}
+
+// Down tears the port down (cable pull, peer power-off). Pending beacons
+// stop; counters keep running on both sides.
+func (p *Port) Down() {
+	p.state = portDown
+	p.owdUnits = -1
+	p.havePeerMsb = false
+	p.pendingJoin = nil
+	p.asm = nil
+	if p.beaconEvent != nil {
+		p.beaconEvent.Cancel()
+		p.beaconEvent = nil
+	}
+	if p.initEvent != nil {
+		p.initEvent.Cancel()
+		p.initEvent = nil
+	}
+}
+
+// initSamples is how many INIT/INIT-ACK exchanges one delay measurement
+// round performs; the minimum RTT is used (T2). Sampling the minimum
+// strips the nondeterministic CDC additions, leaving the deterministic
+// transit the §3.3 analysis calls d.
+const initSamples = 8
+
+func (p *Port) sendInit() {
+	p.initOutstanding = map[uint64]uint64{}
+	p.initRTTs = p.initRTTs[:0]
+	mask := p.codec().CounterMask()
+	for i := 0; i < initSamples; i++ {
+		// Space the probes so each sees an independent CDC phase; the
+		// counter is read at the insertion tick, not at scheduling
+		// time, since the RTT is relative to the embedded value.
+		p.transmitNow(1+i*137, phy.MsgInit, func() uint64 {
+			full := p.dev.gc.at(p.sch().Now())
+			p.initOutstanding[full&mask] = full
+			return full
+		})
+	}
+	// Retry if INITs or ACKs are lost — to bit errors, or because the
+	// peer had not come up yet. The timeout is generous relative to any
+	// plausible RTT (20k ticks ≈ 128 µs at 10 GbE).
+	retry := p.dev.tickDur(20_000)
+	p.initEvent = p.sch().After(retry, func() {
+		if p.state != portInit {
+			return
+		}
+		if len(p.initRTTs) > 0 {
+			p.finishInit() // partial round: use what arrived
+			return
+		}
+		p.sendInit()
+	})
+}
+
+// --- Transmit path ----------------------------------------------------
+
+// transmitNow inserts a message into the next idle block at least
+// `after` port cycles ahead, then models the deterministic TX pipeline
+// and the wire. The payload is evaluated at the insertion instant so
+// embedded counters are exact even when the transmit gate delays the
+// slot. The current block is already committed to the wire, so the
+// earliest insertion opportunity is one cycle out.
+func (p *Port) transmitNow(after int, t phy.MsgType, payload func() uint64) {
+	if after < 1 {
+		after = 1
+	}
+	cycle := p.nextCycleTick(p.dev.clock.Counter()+1)/p.pd + uint64(after-1)
+	slot := p.gate.NextSlot(cycle)
+	at := p.dev.clock.TimeOfCount(slot * p.pd)
+	p.sch().At(at, func() { p.insert(t, payload()) })
+}
+
+// insert composes the message with the counter value as of the insertion
+// tick (the DTP sublayer and the counter share a clock domain, so the
+// embedded value is exact, §4.2) and sends it down the TX pipeline. At
+// 1 GbE the message leaves as four back-to-back ordered-set fragments.
+func (p *Port) insert(t phy.MsgType, payload uint64) {
+	codec := p.codec()
+	m := phy.Message{Type: t, Payload: payload & codec.CounterMask()}
+	txDelay := p.cycleDur(p.cfg().TxPipelineTicks)
+	if !p.fragmented {
+		b := codec.EmbedMessage(m)
+		p.sch().After(txDelay, func() {
+			p.wire.SendBlock(b, p.peer.onWireArrival)
+		})
+		return
+	}
+	for i, f := range phy.FragmentMessage(codec, m) {
+		b := phy.EmbedFragment(f)
+		d := txDelay + p.cycleDur(i) // consecutive line cycles
+		p.sch().After(d, func() {
+			p.wire.SendBlock(b, p.peer.onWireArrival)
+		})
+	}
+}
+
+// sendBeacon implements T3: transmit (BEACON, gc). Every
+// MsbEveryBeacons-th message instead carries the counter's upper bits.
+func (p *Port) sendBeacon() {
+	now := p.sch().Now()
+	gc := p.dev.gc.at(now)
+	p.beaconsSent++
+	cfg := p.cfg()
+	if cfg.MsbEveryBeacons > 0 && p.beaconsSent%uint64(cfg.MsbEveryBeacons) == 0 {
+		p.insert(phy.MsgBeaconMSB, gc>>p.counterBits())
+		return
+	}
+	p.insert(phy.MsgBeacon, gc)
+}
+
+// sendJoinPair transmits BEACON-MSB followed by BEACON-JOIN so the peer
+// can reconstruct the full counter and make an arbitrarily large
+// adjustment (§3.2 "Network dynamics").
+func (p *Port) sendJoinPair() {
+	if p.state != portSynced {
+		return
+	}
+	cycle := p.nextCycleTick(p.dev.clock.Counter()+1) / p.pd
+	slot1 := p.gate.NextSlot(cycle)
+	slot2 := p.gate.NextSlot(slot1 + 1)
+	p.sch().At(p.dev.clock.TimeOfCount(slot1*p.pd), func() {
+		p.insert(phy.MsgBeaconMSB, p.dev.GlobalCounter()>>p.counterBits())
+	})
+	p.sch().At(p.dev.clock.TimeOfCount(slot2*p.pd), func() {
+		p.insert(phy.MsgBeaconJoin, p.dev.GlobalCounter())
+	})
+}
+
+// scheduleBeacons arranges T3 to fire every BeaconIntervalTicks port
+// cycles of the local oscillator, delayed to the next idle block under
+// load. fromCycle is a port-cycle index.
+func (p *Port) scheduleBeacons(fromCycle uint64) {
+	cfg := p.cfg()
+	next := fromCycle + cfg.BeaconIntervalTicks
+	slot := p.gate.NextSlot(next)
+	p.beaconEvent = p.sch().At(p.dev.clock.TimeOfCount(slot*p.pd), func() {
+		if p.state != portSynced {
+			return
+		}
+		p.sendBeacon()
+		p.scheduleBeacons(slot)
+	})
+}
+
+// --- Receive path -----------------------------------------------------
+
+// onWireArrival fires when the leading edge of a block reaches this
+// port. The RX PCS pipeline runs in the recovered clock domain (the
+// sender's frequency); the message then crosses into the local clock
+// domain through a synchronization FIFO that aligns it to the next local
+// tick plus 0..CDCMaxExtraTicks random whole ticks — the only
+// nondeterminism on an otherwise idle link (§2.5).
+func (p *Port) onWireArrival(b phy.Block) {
+	if p.state == portDown {
+		return
+	}
+	// The RX pipeline runs in the recovered clock domain: the sender's
+	// port-cycle rate.
+	rxDelay := p.peer.cycleDur(p.cfg().RxPipelineTicks)
+	p.sch().After(rxDelay, func() { p.cdcCross(b) })
+}
+
+func (p *Port) cdcCross(b phy.Block) {
+	if p.state == portDown {
+		return
+	}
+	if !b.Valid() {
+		return // sync header corrupted: block discarded by block sync
+	}
+	var m phy.Message
+	var ok bool
+	if p.fragmented {
+		// 1 GbE: reassemble ordered-set fragments in the RX domain; a
+		// complete in-order message crosses the FIFO as a unit.
+		frag, fok := phy.ExtractFragment(b)
+		if !fok {
+			return
+		}
+		if p.asm == nil {
+			p.asm = phy.NewAssembler(p.codec())
+		}
+		m, ok = p.asm.Push(frag)
+	} else {
+		_, m, ok = p.codec().ExtractMessage(b)
+	}
+	if !ok {
+		return // plain idle, partial message, undefined type, or parity failure
+	}
+	now := p.sch().Now()
+	tick := p.nextCycleTick(p.dev.clock.CounterAt(now)+1) + uint64(p.cdcExtraCycles(now))*p.pd
+	p.sch().At(p.dev.clock.TimeOfCount(tick), func() { p.process(m) })
+}
+
+// cdcExtraTicks models the synchronization FIFO between the recovered
+// and local clock domains. Its base delay is the fill level latched at
+// link-up (constant for the session, like a PCS elastic buffer — this
+// is the "one random delay" of §2.5 that the INIT measurement absorbs
+// into the measured OWD). On top of that, data landing inside the setup
+// window just before the capturing edge takes one extra cycle, with
+// true randomness only inside a narrow metastability band.
+func (p *Port) cdcExtraCycles(now simTime) int {
+	cfg := p.cfg()
+	if cfg.CDCMaxExtraTicks <= 0 {
+		return 0
+	}
+	clk := p.dev.clock
+	nextEdge := clk.TimeOfCount(p.nextCycleTick(clk.CounterAt(now) + 1))
+	residFs := (nextEdge - now).Fs()
+	setupFs := int64(cfg.CDCSetupFraction * float64(clk.PeriodFs()) * float64(p.pd))
+	extra := 0
+	switch {
+	case residFs < setupFs-cfg.CDCJitterFs:
+		extra = 1
+	case residFs < setupFs+cfg.CDCJitterFs:
+		extra = p.rng.IntN(2) // metastable: either outcome
+	}
+	return p.cdcFill + extra
+}
+
+// process handles a message in the local clock domain.
+func (p *Port) process(m phy.Message) {
+	if p.state == portDown {
+		return
+	}
+	switch m.Type {
+	case phy.MsgInit:
+		// T1: reply with INIT-ACK echoing the sender's counter. The
+		// reply turnaround is a deterministic pipeline constant: the
+		// ACK enters the TX path two cycles after the INIT is
+		// processed. Together with α = 3 this biases the measured OWD
+		// to transit-1..transit, the regime the §3.3 analysis assumes.
+		echo := m.Payload
+		p.transmitNow(p.cfg().AckTurnaroundTicks, phy.MsgInitAck, func() uint64 { return echo })
+	case phy.MsgInitAck:
+		p.handleInitAck(m.Payload)
+	case phy.MsgBeacon:
+		p.handleBeacon(m.Payload)
+	case phy.MsgBeaconMSB:
+		p.peerMsb = m.Payload
+		p.havePeerMsb = true
+	case phy.MsgBeaconJoin:
+		p.handleJoin(m.Payload)
+	}
+}
+
+// handleInitAck collects one RTT sample; the round finishes when all
+// probes are answered (T2: d ← (min lc − c − α)/2).
+func (p *Port) handleInitAck(echo uint64) {
+	if p.state != portInit {
+		return
+	}
+	sent, ok := p.initOutstanding[echo]
+	if !ok {
+		return // stale or corrupted ACK
+	}
+	delete(p.initOutstanding, echo)
+	now := p.sch().Now()
+	lc := p.dev.gc.at(now)
+	rtt := int64(lc - sent)
+	cfg := p.cfg()
+	// A counter jump between INIT and ACK (e.g. a racing BEACON-JOIN)
+	// inflates the apparent RTT; drop the poisoned sample.
+	limit := int64(cfg.BeaconIntervalTicks*40+20_000) * int64(cfg.UnitsPerTick) * int64(p.pd)
+	if rtt >= 0 && rtt < limit {
+		p.initRTTs = append(p.initRTTs, rtt)
+	}
+	if len(p.initRTTs) >= initSamples {
+		p.finishInit()
+	}
+}
+
+// finishInit derives the one-way delay from the collected RTT samples
+// and starts the BEACON phase.
+func (p *Port) finishInit() {
+	if p.state != portInit || len(p.initRTTs) == 0 {
+		return
+	}
+	cfg := p.cfg()
+	min := p.initRTTs[0]
+	for _, r := range p.initRTTs[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	// α scales with the port cycle: it compensates CDC cycles, which
+	// cost pd units each at this port's speed.
+	d := (min - cfg.AlphaUnits*int64(p.pd)) / 2
+	if d < 0 {
+		d = 0
+	}
+	p.owdUnits = d
+	p.state = portSynced
+	if p.initEvent != nil {
+		p.initEvent.Cancel()
+		p.initEvent = nil
+	}
+	// A JOIN that raced ahead of our delay measurement can now apply.
+	if p.pendingJoin != nil {
+		target := *p.pendingJoin + uint64(d)
+		p.pendingJoin = nil
+		p.dev.jump(target, p, true)
+	}
+	// Announce our counter for max-agreement, then start beacons.
+	p.sch().After(p.cycleDur(int(cfg.JoinDelayTicks)), p.sendJoinPair)
+	p.scheduleBeacons(p.dev.clock.Counter() / p.pd)
+}
+
+// handleBeacon implements T4: lc ← max(lc, c + d), with the paper's
+// bit-error guard and faulty-peer detection.
+func (p *Port) handleBeacon(lsb uint64) {
+	if p.state != portSynced || p.owdUnits < 0 {
+		return
+	}
+	now := p.sch().Now()
+	local := p.dev.gc.at(now)
+	c := reconstructNear(local, lsb, p.counterBits())
+	target := c + uint64(p.owdUnits)
+	p.beaconsReceived++
+
+	offset := int64(local) - int64(target) // == t2 - t1 - OWD (§6.2)
+
+	if p.faulty {
+		p.beaconsIgnored++
+		return
+	}
+	cfg := p.cfg()
+	if guard := cfg.GuardUnits * int64(p.pd); offset < -guard || offset > guard {
+		// Counter off by more than the guard: treat as bit error.
+		p.beaconsIgnored++
+		p.recordViolation()
+		return
+	}
+	if cfg.FollowMaster {
+		// §5.4: only the uplink disciplines the counter; it follows the
+		// parent in both directions — forward by jumping, backward (a
+		// faster local oscillator) by stalling until the parent catches
+		// up. Non-uplink ports still observe offsets.
+		if p.uplink {
+			switch {
+			case target > local:
+				p.jumps++
+				p.dev.jump(target, p, false)
+			case target < local:
+				p.dev.stall(local-target, now)
+			}
+		}
+	} else if target > local {
+		p.jumps++
+		p.dev.jump(target, p, false)
+	}
+	if p.dev.net.OnOffset != nil {
+		p.dev.net.OnOffset(p, offset)
+	}
+}
+
+// handleJoin applies a BEACON-JOIN: an unguarded forward adjustment to
+// the agreed maximum counter.
+func (p *Port) handleJoin(lsb uint64) {
+	bits := p.counterBits()
+	var full uint64
+	if p.havePeerMsb {
+		full = p.peerMsb<<bits | lsb
+	} else {
+		full = reconstructNear(p.dev.GlobalCounter(), lsb, bits)
+	}
+	if p.owdUnits < 0 {
+		p.pendingJoin = &full
+		return
+	}
+	target := full + uint64(p.owdUnits)
+	if target > p.dev.GlobalCounter() {
+		p.jumps++
+		p.dev.jump(target, p, true)
+	}
+}
+
+// recordViolation counts guard violations in a sliding window; too many
+// mark the peer faulty (§3.2 "Handling failures").
+func (p *Port) recordViolation() {
+	cfg := p.cfg()
+	tick := p.dev.clock.Counter()
+	if tick-p.violationWindow > cfg.FaultyWindowTicks {
+		p.violationWindow = tick
+		p.violationCount = 0
+	}
+	p.violationCount++
+	if cfg.FaultyJumpLimit > 0 && p.violationCount > cfg.FaultyJumpLimit {
+		p.faulty = true
+	}
+}
+
+// --- Helpers ----------------------------------------------------------
+
+func (p *Port) sch() *sim.Scheduler { return p.dev.net.Sch }
+func (p *Port) cfg() *Config        { return &p.dev.net.cfg }
+func (p *Port) codec() phy.Codec    { return p.dev.net.codec }
+
+// nextCycleTick returns the smallest port-cycle boundary (device tick
+// that is a multiple of pd) at or after `from`.
+func (p *Port) nextCycleTick(from uint64) uint64 {
+	return (from + p.pd - 1) / p.pd * p.pd
+}
+
+// cycleDur returns the duration of n of this port's cycles at the
+// device oscillator's current rate.
+func (p *Port) cycleDur(n int) simTime {
+	return sim.Femto(int64(n) * int64(p.pd) * p.dev.clock.PeriodFs())
+}
+
+// counterBits is the number of counter LSBs a message payload carries.
+func (p *Port) counterBits() uint {
+	if p.cfg().Parity {
+		return phy.PayloadBits - 1
+	}
+	return phy.PayloadBits
+}

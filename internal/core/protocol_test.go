@@ -1,0 +1,272 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/topo"
+)
+
+// startPair builds and starts a two-node network with pinned oscillator
+// offsets and runs until the handshake settles.
+func startPair(t *testing.T, seed uint64, cfg Config, ppmA, ppmB float64) (*sim.Scheduler, *Network) {
+	t.Helper()
+	sch := sim.NewScheduler()
+	n, err := NewNetwork(sch, seed, topo.Pair(), cfg,
+		WithPPM(map[string]float64{"h0": ppmA, "h1": ppmB}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	sch.Run(5 * sim.Millisecond)
+	if !n.AllSynced() {
+		t.Fatal("pair did not complete INIT")
+	}
+	return sch, n
+}
+
+func TestPairCompletesInit(t *testing.T) {
+	_, n := startPair(t, 1, DefaultConfig(), 100, -100)
+	pa, pb := n.LinkPorts(0)
+	if pa.State() != "synced" || pb.State() != "synced" {
+		t.Fatalf("states %s/%s", pa.State(), pb.State())
+	}
+}
+
+func TestMeasuredOWDInPaperRange(t *testing.T) {
+	// §6.1: "The measured one-way delay between any two DTP devices was
+	// 43 to 45 cycles" on 10 m cables. With α=3 the protocol's measured
+	// value is d-2..d, so accept 41..45.
+	for seed := uint64(1); seed <= 10; seed++ {
+		_, n := startPair(t, seed, DefaultConfig(), 100, -100)
+		pa, pb := n.LinkPorts(0)
+		for _, p := range []*Port{pa, pb} {
+			d := p.OWDUnits()
+			if d < 41 || d > 45 {
+				t.Fatalf("seed %d: %s measured OWD %d ticks, want 41..45", seed, p.Name(), d)
+			}
+		}
+	}
+}
+
+func TestPairOffsetBoundedBy4T(t *testing.T) {
+	// The headline result for directly connected nodes: |offset| <= 4
+	// ticks (25.6 ns) even with worst-case ±100 ppm skew.
+	sch, n := startPair(t, 7, DefaultConfig(), 100, -100)
+	var worst int64
+	for i := 0; i < 4000; i++ {
+		sch.RunFor(50 * sim.Microsecond) // 200ms total
+		o := n.TrueOffsetUnits(0, 1)
+		if o < 0 {
+			o = -o
+		}
+		if o > worst {
+			worst = o
+		}
+	}
+	if worst > 4 {
+		t.Fatalf("pair offset reached %d ticks, bound is 4", worst)
+	}
+	if worst == 0 {
+		t.Fatal("offset never moved — skew not being simulated?")
+	}
+}
+
+func TestPairOffsetSamplesBounded(t *testing.T) {
+	// The protocol's own estimator offset = t2 - t1 - OWD must also stay
+	// within ±4 ticks (what Figure 6a/b plot).
+	cfg := DefaultConfig()
+	sch := sim.NewScheduler()
+	n, err := NewNetwork(sch, 11, topo.Pair(), cfg,
+		WithPPM(map[string]float64{"h0": 100, "h1": -100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max int64
+	n.OnOffset = func(rx *Port, off int64) {
+		if off < min {
+			min = off
+		}
+		if off > max {
+			max = off
+		}
+	}
+	n.Start()
+	sch.Run(200 * sim.Millisecond)
+	if min < -4 || max > 4 {
+		t.Fatalf("offset samples spanned [%d, %d] ticks, bound is ±4", min, max)
+	}
+	if min == 0 && max == 0 {
+		t.Fatal("no offset samples collected")
+	}
+}
+
+func TestGlobalCounterNeverRatchets(t *testing.T) {
+	// With α=3 the measured OWD never exceeds the true delay, so mutual
+	// adjustment must not drive the global counter faster than the
+	// fastest oscillator (§3.3 "Two tick errors due to OWD").
+	sch, n := startPair(t, 13, DefaultConfig(), 100, -100)
+	start := n.Devices[0].GlobalCounter()
+	t0 := sch.Now()
+	sch.RunFor(2 * sim.Second)
+	elapsed := (sch.Now() - t0).Seconds()
+	gained := float64(n.Devices[0].GlobalCounter() - start)
+	maxRate := 156.25e6 * (1 + 100e-6)
+	if gained > maxRate*elapsed+8 {
+		t.Fatalf("global counter gained %.0f ticks in %.2fs; max oscillator supplies %.0f",
+			gained, elapsed, maxRate*elapsed)
+	}
+}
+
+func TestCounterMonotoneUnderProtocol(t *testing.T) {
+	sch, n := startPair(t, 17, DefaultConfig(), 100, -100)
+	var prev [2]uint64
+	for i := 0; i < 2000; i++ {
+		sch.RunFor(10 * sim.Microsecond)
+		for d := 0; d < 2; d++ {
+			got := n.Devices[d].GlobalCounter()
+			if got < prev[d] {
+				t.Fatalf("device %d counter regressed %d -> %d", d, prev[d], got)
+			}
+			prev[d] = got
+		}
+	}
+}
+
+func TestPaperTreeBoundedBy4TD(t *testing.T) {
+	// Figure 6a's setting structurally: the 12-node tree, every pair of
+	// directly connected devices within 4T, network-wide within 4TD.
+	sch := sim.NewScheduler()
+	cfg := DefaultConfig()
+	n, err := NewNetwork(sch, 23, topo.PaperTree(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	sch.Run(10 * sim.Millisecond) // settle: INIT + JOIN agreement
+	var worstAdj, worstAll int64
+	for i := 0; i < 400; i++ {
+		sch.RunFor(250 * sim.Microsecond) // 100ms total
+		if a := n.MaxAdjacentOffset(); a > worstAdj {
+			worstAdj = a
+		}
+		if a := n.MaxPairwiseOffset(); a > worstAll {
+			worstAll = a
+		}
+	}
+	if worstAdj > 4 {
+		t.Fatalf("adjacent offset reached %d ticks, bound 4", worstAdj)
+	}
+	if bound := n.BoundUnits(); worstAll > bound {
+		t.Fatalf("network offset reached %d ticks, bound 4TD = %d", worstAll, bound)
+	}
+}
+
+func TestBeaconInterval1200StillBounded(t *testing.T) {
+	// Figure 6b: jumbo frames, beacon interval 1200 ticks. The analysis
+	// allows intervals up to ~5000 ticks for the 2-tick beacon error.
+	cfg := DefaultConfig()
+	cfg.BeaconIntervalTicks = 1200
+	sch, n := startPair(t, 29, cfg, 100, -100)
+	var worst int64
+	for i := 0; i < 2000; i++ {
+		sch.RunFor(100 * sim.Microsecond)
+		o := n.TrueOffsetUnits(0, 1)
+		if o < 0 {
+			o = -o
+		}
+		if o > worst {
+			worst = o
+		}
+	}
+	if worst > 4 {
+		t.Fatalf("offset reached %d ticks at interval 1200", worst)
+	}
+}
+
+func TestHugeBeaconIntervalViolatesBound(t *testing.T) {
+	// Negative control (§3.3): beyond ~5000 ticks (32 us) the interval
+	// contributes more than 2 ticks of error — at 60000 ticks and 200
+	// ppm relative skew the offset must exceed 4 ticks between beacons.
+	cfg := DefaultConfig()
+	cfg.BeaconIntervalTicks = 60_000
+	cfg.GuardUnits = 1 << 20 // disable the guard so drift is visible
+	sch, n := startPair(t, 31, cfg, 100, -100)
+	var worst int64
+	for i := 0; i < 5000; i++ {
+		sch.RunFor(20 * sim.Microsecond)
+		o := n.TrueOffsetUnits(0, 1)
+		if o < 0 {
+			o = -o
+		}
+		if o > worst {
+			worst = o
+		}
+	}
+	if worst <= 4 {
+		t.Fatalf("offset stayed at %d ticks despite a 60000-tick interval; model too forgiving", worst)
+	}
+}
+
+func TestSaturatedLinkStillBounded(t *testing.T) {
+	// Heavy MTU load: beacons restricted to interpacket gaps (~one per
+	// 193 blocks). Figure 6a: precision unaffected by load.
+	cfg := DefaultConfig()
+	sch := sim.NewScheduler()
+	n, err := NewNetwork(sch, 37, topo.Pair(), cfg,
+		WithPPM(map[string]float64{"h0": 100, "h1": -100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Links come up idle (INIT measures the true delay), then the
+	// saturating workload starts — the paper's sequence: the network
+	// synchronizes at bring-up, load arrives afterwards.
+	n.Start()
+	sch.Run(5 * sim.Millisecond)
+	if !n.AllSynced() {
+		t.Fatal("pair did not sync")
+	}
+	n.SetGateAll(func(p *Port) TxGate { return NewSaturatedGate(1522, 0) })
+	var worst int64
+	for i := 0; i < 2000; i++ {
+		sch.RunFor(100 * sim.Microsecond)
+		o := n.TrueOffsetUnits(0, 1)
+		if o < 0 {
+			o = -o
+		}
+		if o > worst {
+			worst = o
+		}
+	}
+	if worst > 4 {
+		t.Fatalf("offset reached %d ticks under saturation", worst)
+	}
+}
+
+func TestChainOffsetScalesWithHops(t *testing.T) {
+	// 4TD: a chain of D hops stays within 4*D ticks end to end.
+	for _, hops := range []int{2, 4, 6} {
+		sch := sim.NewScheduler()
+		n, err := NewNetwork(sch, uint64(40+hops), topo.Chain(hops), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start()
+		sch.Run(10 * sim.Millisecond)
+		last := len(n.Devices) - 1
+		var worst int64
+		for i := 0; i < 200; i++ {
+			sch.RunFor(250 * sim.Microsecond)
+			o := n.TrueOffsetUnits(0, last)
+			if o < 0 {
+				o = -o
+			}
+			if o > worst {
+				worst = o
+			}
+		}
+		if bound := int64(4 * hops); worst > bound {
+			t.Fatalf("chain(%d): end-to-end offset %d > bound %d", hops, worst, bound)
+		}
+	}
+}

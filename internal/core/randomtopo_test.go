@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/topo"
+)
+
+// randomTree builds a random tree of n devices: node i > 0 attaches to
+// a uniformly random earlier node. Leaves are hosts, interior nodes
+// switches.
+func randomTree(rng *sim.RNG, n int) topo.Graph {
+	g := topo.Graph{}
+	parents := make([]int, n)
+	hasChild := make([]bool, n)
+	for i := 0; i < n; i++ {
+		parent := 0
+		if i > 0 {
+			parent = rng.IntN(i)
+			hasChild[parent] = true
+			parents[i] = parent
+		}
+	}
+	for i := 0; i < n; i++ {
+		kind := topo.Host
+		if hasChild[i] {
+			kind = topo.Switch
+		}
+		g.Nodes = append(g.Nodes, topo.Node{ID: i, Name: fmt.Sprintf("n%d", i), Kind: kind})
+	}
+	for i := 1; i < n; i++ {
+		length := 1 + rng.Float64()*99 // 1-100 m cables
+		g.Links = append(g.Links, topo.Link{A: parents[i], B: i, LengthM: length})
+	}
+	return g
+}
+
+// TestRandomTreesHold4TD is the randomized version of the bound
+// property: arbitrary tree shapes, arbitrary cable lengths up to 100 m,
+// arbitrary oscillator draws — the 4TD bound must hold everywhere.
+func TestRandomTreesHold4TD(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := sim.NewRNG(seed, "randomtopo")
+		g := randomTree(rng, 4+rng.IntN(8))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid random tree: %v", seed, err)
+		}
+		sch := sim.NewScheduler()
+		n, err := NewNetwork(sch, seed*31, g, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start()
+		sch.Run(10 * sim.Millisecond)
+		if !n.AllSynced() {
+			t.Fatalf("seed %d: random tree did not sync", seed)
+		}
+		var worst int64
+		for i := 0; i < 200; i++ {
+			sch.RunFor(200 * sim.Microsecond)
+			if o := n.MaxPairwiseOffset(); o > worst {
+				worst = o
+			}
+		}
+		if bound := n.BoundUnits(); worst > bound {
+			t.Fatalf("seed %d: offset %d > bound %d (diameter %d, %d nodes)",
+				seed, worst, bound, g.Diameter(), len(g.Nodes))
+		}
+	}
+}
+
+// TestRandomTreesLongCables exercises the propagation-delay extremes:
+// the paper allows up to 1000 m (5 us) inside a datacenter.
+func TestRandomTreesLongCables(t *testing.T) {
+	g := topo.Graph{
+		Nodes: []topo.Node{
+			{ID: 0, Name: "a", Kind: topo.Host},
+			{ID: 1, Name: "sw", Kind: topo.Switch},
+			{ID: 2, Name: "b", Kind: topo.Host},
+		},
+		Links: []topo.Link{
+			{A: 0, B: 1, LengthM: 1000}, // 5 us propagation
+			{A: 1, B: 2, LengthM: 1},
+		},
+	}
+	sch := sim.NewScheduler()
+	n, err := NewNetwork(sch, 77, g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	sch.Run(20 * sim.Millisecond)
+	if !n.AllSynced() {
+		t.Fatal("long-cable network did not sync")
+	}
+	// The 1000 m link's OWD is ~820 ticks; verify it measured sanely.
+	dev, _ := n.DeviceByName("a")
+	p, _ := dev.PortTo("sw")
+	if d := p.OWDUnits(); d < 780 || d > 860 {
+		t.Fatalf("1000m OWD measured %d ticks, want ~820", d)
+	}
+	var worst int64
+	for i := 0; i < 300; i++ {
+		sch.RunFor(200 * sim.Microsecond)
+		if o := n.MaxPairwiseOffset(); o > worst {
+			worst = o
+		}
+	}
+	if bound := n.BoundUnits(); worst > bound {
+		t.Fatalf("offset %d > bound %d on long cables", worst, bound)
+	}
+}

@@ -1,0 +1,190 @@
+// Package daemon models software access to the DTP counter (§5.1 and
+// Figure 7): a per-server daemon reads the NIC's DTP counter over PCIe
+// (memory-mapped I/O with long-tailed latency), disciplines a
+// TSC-derived software clock to it, and serves get_DTP_counter()
+// estimates by interpolation. The paper measures the raw estimate
+// within ±16 ticks (~102 ns) of the hardware counter, and within
+// ±4 ticks (~25.6 ns) after a 10-sample moving average.
+package daemon
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dtplab/dtp/internal/core"
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/swclock"
+)
+
+// Config models the host hardware.
+type Config struct {
+	// CalInterval is how often the daemon reads the NIC counter over
+	// PCIe to recalibrate (paper: about once per second).
+	CalInterval sim.Time
+	// PCIeMedian / PCIeSigma parameterize the lognormal MMIO read
+	// round-trip latency.
+	PCIeMedian sim.Time
+	PCIeSigma  float64
+	// PCIeSpikeP is the probability a read hits bus contention and
+	// takes PCIeSpike extra — the spikes visible in Figure 7a.
+	PCIeSpikeP float64
+	PCIeSpike  sim.Time
+	// TSCPPM is the half-range of the CPU TSC frequency error relative
+	// to nominal; invariant TSCs are stable but not perfectly accurate.
+	TSCPPM float64
+	// RatioGain is the EWMA gain for the DTP-per-TSC frequency ratio
+	// estimate.
+	RatioGain float64
+}
+
+// DefaultConfig matches the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		CalInterval: sim.Second,
+		PCIeMedian:  450 * sim.Nanosecond,
+		PCIeSigma:   0.15,
+		PCIeSpikeP:  0.005,
+		PCIeSpike:   1500 * sim.Nanosecond,
+		TSCPPM:      20,
+		RatioGain:   0.2,
+	}
+}
+
+// Compressed scales the calibration interval by 1/k for compressed-time
+// experiments.
+func (c Config) Compressed(k int64) Config {
+	if k > 1 {
+		c.CalInterval /= sim.Time(k)
+	}
+	return c
+}
+
+// Daemon is the per-server DTP daemon.
+type Daemon struct {
+	dev *core.Device
+	sch *sim.Scheduler
+	rng *sim.RNG
+	cfg Config
+
+	tsc *swclock.Clock // invariant TSC as a ps-domain clock
+
+	// Calibration state: DTP counter (units) anchored to a TSC reading,
+	// plus the estimated ratio of DTP units per TSC picosecond. The
+	// ratio is measured against an anchor several calibrations old —
+	// a longer baseline divides the per-read latch noise.
+	haveCal  bool
+	calDTP   float64
+	calTSC   float64
+	ratio    float64 // units per TSC ps
+	calCount uint64
+	history  []calPoint
+
+	stopped bool
+
+	// OnSample, if set, receives offset_sw = estimate - hardware
+	// counter, in units, at each calibration (the §6.2 measurement).
+	OnSample func(offsetUnits float64)
+}
+
+// New attaches a daemon to a DTP device.
+func New(dev *core.Device, cfg Config, seed uint64) *Daemon {
+	sch := dev.Clock().Scheduler()
+	rng := sim.NewRNG(seed, fmt.Sprintf("daemon/%s", dev.Name()))
+	d := &Daemon{
+		dev: dev, sch: sch, rng: rng, cfg: cfg,
+		tsc: swclock.New(sch, rng.Uniform(-cfg.TSCPPM, cfg.TSCPPM)),
+	}
+	// Nominal ratio: one DTP unit per unit duration.
+	d.ratio = 1e3 / float64(dev.Clock().NominalPeriodFs())
+	return d
+}
+
+// Start begins periodic calibration.
+func (d *Daemon) Start() {
+	d.stopped = false
+	d.sch.After(d.rng.UniformTime(0, d.cfg.CalInterval), d.calibrate)
+}
+
+// Stop halts calibration (estimates keep extrapolating).
+func (d *Daemon) Stop() { d.stopped = true }
+
+// Calibrations returns how many PCIe reads have completed.
+func (d *Daemon) Calibrations() uint64 { return d.calCount }
+
+// readLatency draws one PCIe MMIO round-trip.
+func (d *Daemon) readLatency() sim.Time {
+	ns := d.rng.LogNormal(math.Log(float64(d.cfg.PCIeMedian)), d.cfg.PCIeSigma)
+	lat := sim.Time(ns)
+	if d.rng.Bool(d.cfg.PCIeSpikeP) {
+		lat += d.rng.UniformTime(0, d.cfg.PCIeSpike)
+	}
+	return lat
+}
+
+type calPoint struct{ dtp, tsc float64 }
+
+// ratioBaseline is how many calibrations back the frequency-ratio anchor
+// sits: a longer baseline divides per-read latch noise into the ratio.
+const ratioBaseline = 10
+
+// calibrate performs one MMIO read of the NIC's DTP counter and updates
+// the TSC->DTP mapping.
+func (d *Daemon) calibrate() {
+	if d.stopped {
+		return
+	}
+	issue := d.sch.Now()
+	lat := d.readLatency()
+	// The NIC latches the counter at some point within the read. The
+	// daemon measures the read duration with the TSC and assumes the
+	// midpoint; the latch point's deviation from the midpoint becomes
+	// estimation error — the Figure 7a noise, largest on the PCIe
+	// contention spikes.
+	latchFrac := d.rng.Uniform(0.4, 0.6)
+	latchAt := issue + sim.Time(float64(lat)*latchFrac)
+	latched := d.dev.GlobalCounterAt(latchAt)
+	d.sch.At(issue+lat, func() {
+		tscMid := d.tsc.At(issue + lat/2)
+		sample := float64(latched)
+		d.history = append(d.history, calPoint{sample, tscMid})
+		if len(d.history) > ratioBaseline+1 {
+			d.history = d.history[1:]
+		}
+		if anchor := d.history[0]; tscMid > anchor.tsc {
+			instRatio := (sample - anchor.dtp) / (tscMid - anchor.tsc)
+			d.ratio += d.cfg.RatioGain * (instRatio - d.ratio)
+		}
+		d.calDTP = sample
+		d.calTSC = tscMid
+		d.haveCal = true
+		d.calCount++
+		if d.OnSample != nil {
+			est := d.EstimateAt(d.sch.Now())
+			truth := float64(d.dev.GlobalCounterAt(d.sch.Now()))
+			d.OnSample(est - truth)
+		}
+		d.sch.After(d.cfg.CalInterval, d.calibrate)
+	})
+}
+
+// EstimateAt returns the daemon's get_DTP_counter() estimate (in counter
+// units, fractional) at time t, interpolated from the TSC.
+func (d *Daemon) EstimateAt(t sim.Time) float64 {
+	if !d.haveCal {
+		return 0
+	}
+	return d.calDTP + (d.tsc.At(t)-d.calTSC)*d.ratio
+}
+
+// Estimate returns the current get_DTP_counter() value.
+func (d *Daemon) Estimate() float64 { return d.EstimateAt(d.sch.Now()) }
+
+// OffsetUnits returns ground truth: estimate minus hardware counter, in
+// counter units (offset_sw of §6.2).
+func (d *Daemon) OffsetUnits() float64 {
+	now := d.sch.Now()
+	return d.EstimateAt(now) - float64(d.dev.GlobalCounterAt(now))
+}
+
+// Device returns the attached DTP device.
+func (d *Daemon) Device() *core.Device { return d.dev }

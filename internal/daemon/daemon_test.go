@@ -1,0 +1,168 @@
+package daemon
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dtplab/dtp/internal/core"
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/stats"
+	"github.com/dtplab/dtp/internal/topo"
+)
+
+// syncedPair builds a running two-node DTP network.
+func syncedPair(t *testing.T, seed uint64) (*sim.Scheduler, *core.Network) {
+	t.Helper()
+	sch := sim.NewScheduler()
+	n, err := core.NewNetwork(sch, seed, topo.Pair(), core.DefaultConfig(),
+		core.WithPPM(map[string]float64{"h0": 40, "h1": -40}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	sch.Run(5 * sim.Millisecond)
+	if !n.AllSynced() {
+		t.Fatal("pair did not sync")
+	}
+	return sch, n
+}
+
+func TestDaemonRawOffsetWithinPaperBound(t *testing.T) {
+	// Figure 7a: offset_sw usually within ±16 ticks (~102.4 ns) before
+	// smoothing.
+	sch, n := syncedPair(t, 1)
+	cfg := DefaultConfig().Compressed(100) // calibrate every 10 ms
+	d := New(n.Devices[0], cfg, 7)
+	raw := stats.NewSummary(0)
+	d.OnSample = func(off float64) { raw.Add(off) }
+	d.Start()
+	sch.RunFor(5 * sim.Second) // ~500 calibrations
+	if d.Calibrations() < 100 {
+		t.Fatalf("only %d calibrations", d.Calibrations())
+	}
+	// "usually no more than 16 clock ticks": 99th percentile within 16,
+	// worst-case spikes allowed somewhat beyond.
+	p99 := math.Max(math.Abs(raw.Quantile(0.99)), math.Abs(raw.Quantile(0.01)))
+	if p99 > 16 {
+		t.Fatalf("daemon raw offset p99 = %.1f ticks, paper says usually <= 16", p99)
+	}
+	if raw.MaxAbs() < 0.5 {
+		t.Fatalf("raw offsets implausibly tight (%.3f); PCIe noise missing", raw.MaxAbs())
+	}
+}
+
+func TestDaemonSmoothedOffsetWithin4Ticks(t *testing.T) {
+	// Figure 7b: moving average with window 10 brings offsets to
+	// usually within ±4 ticks (~25.6 ns).
+	sch, n := syncedPair(t, 3)
+	cfg := DefaultConfig().Compressed(100)
+	d := New(n.Devices[0], cfg, 9)
+	var rawSeq []float64
+	d.OnSample = func(off float64) { rawSeq = append(rawSeq, off) }
+	d.Start()
+	sch.RunFor(5 * sim.Second)
+	sm := stats.MovingAverage(rawSeq, 10)
+	s := stats.NewSummary(0)
+	for _, v := range sm[10:] {
+		s.Add(v)
+	}
+	p99 := math.Max(math.Abs(s.Quantile(0.99)), math.Abs(s.Quantile(0.01)))
+	if p99 > 4 {
+		t.Fatalf("smoothed offset p99 = %.2f ticks, paper says usually <= 4", p99)
+	}
+}
+
+func TestDaemonEstimateTracksCounter(t *testing.T) {
+	sch, n := syncedPair(t, 5)
+	d := New(n.Devices[1], DefaultConfig().Compressed(100), 11)
+	d.Start()
+	sch.RunFor(2 * sim.Second)
+	est := d.Estimate()
+	truth := float64(n.Devices[1].GlobalCounter())
+	if math.Abs(est-truth) > 50 {
+		t.Fatalf("estimate %f vs counter %f", est, truth)
+	}
+	if d.Device() != n.Devices[1] {
+		t.Fatal("device accessor")
+	}
+}
+
+func TestDaemonStop(t *testing.T) {
+	sch, n := syncedPair(t, 7)
+	d := New(n.Devices[0], DefaultConfig().Compressed(100), 13)
+	d.Start()
+	sch.RunFor(sim.Second)
+	c := d.Calibrations()
+	d.Stop()
+	sch.RunFor(sim.Second)
+	if d.Calibrations() != c {
+		t.Fatal("stopped daemon kept calibrating")
+	}
+}
+
+func TestDaemonBeforeFirstCalibration(t *testing.T) {
+	_, n := syncedPair(t, 9)
+	d := New(n.Devices[0], DefaultConfig(), 15)
+	if d.Estimate() != 0 {
+		t.Fatal("estimate before calibration should be 0")
+	}
+}
+
+// End-to-end precision (§1): two daemons on directly connected devices;
+// the difference between their estimates must stay within 4TD + 8T =
+// 4 + 16 = 20 ticks usually (we allow p99).
+func TestEndToEndSoftwarePrecision(t *testing.T) {
+	sch, n := syncedPair(t, 11)
+	cfg := DefaultConfig().Compressed(100)
+	d0 := New(n.Devices[0], cfg, 17)
+	d1 := New(n.Devices[1], cfg, 19)
+	d0.Start()
+	d1.Start()
+	sch.RunFor(sim.Second) // calibrations under way
+	s := stats.NewSummary(0)
+	for i := 0; i < 3000; i++ {
+		sch.RunFor(sim.Millisecond)
+		s.Add(d0.Estimate() - d1.Estimate())
+	}
+	p99 := math.Max(math.Abs(s.Quantile(0.99)), math.Abs(s.Quantile(0.01)))
+	if p99 > 20 {
+		t.Fatalf("end-to-end daemon offset p99 = %.1f ticks, bound 4TD+8T = 20", p99)
+	}
+}
+
+func TestExternalSyncUTC(t *testing.T) {
+	// §5.2: followers learn UTC from broadcast (counter, UTC) pairs;
+	// their UTC error is bounded by daemon precision plus broadcast
+	// estimation error — microsecond-class at worst, typically ~100ns.
+	sch, n := syncedPair(t, 13)
+	cfg := DefaultConfig().Compressed(100)
+	d0 := New(n.Devices[0], cfg, 21)
+	d1 := New(n.Devices[1], cfg, 23)
+	d0.Start()
+	d1.Start()
+	b := NewUTCBroadcaster(d0, TrueUTC{Sch: sch}, 50*sim.Millisecond)
+	f := NewUTCFollower(d1)
+	b.Subscribe(f)
+	b.Start()
+	if _, err := f.UTC(); err == nil {
+		t.Fatal("UTC available before any broadcast")
+	}
+	sch.RunFor(2 * sim.Second)
+	if f.Received() == 0 {
+		t.Fatal("no broadcasts received")
+	}
+	s := stats.NewSummary(0)
+	for i := 0; i < 500; i++ {
+		sch.RunFor(sim.Millisecond)
+		s.Add(f.UTCErrorPs())
+	}
+	if s.MaxAbs() > 2e6 { // 2 us
+		t.Fatalf("UTC error reached %.0f ps", s.MaxAbs())
+	}
+	b.Stop()
+	got := f.Received()
+	sch.RunFor(sim.Second)
+	if f.Received() != got {
+		t.Fatal("stopped broadcaster kept sending")
+	}
+}

@@ -1,0 +1,123 @@
+package daemon
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// External synchronization (§5.2): one server periodically broadcasts
+// (DTP counter, UTC) pairs; every other daemon estimates the frequency
+// ratio between the two timescales and can then serve UTC by
+// interpolating its own DTP counter. Because all DTP counters advance
+// at the same (max-coupled) rate, UTC derived this way is as tightly
+// synchronized across servers as DTP itself, plus the broadcast
+// estimation error.
+
+// UTCSource provides the broadcaster's UTC readings; typically a GPS
+// receiver or an NTP/PTP-disciplined clock, with its own error.
+type UTCSource interface {
+	// ReadUTC returns UTC in picoseconds at the current instant.
+	ReadUTC() float64
+}
+
+// TrueUTC is a perfect UTC source (for tests and bounds).
+type TrueUTC struct{ Sch *sim.Scheduler }
+
+// ReadUTC returns true time.
+func (s TrueUTC) ReadUTC() float64 { return float64(s.Sch.Now()) }
+
+// UTCBroadcast is one (counter, UTC) pair as received by followers.
+type UTCBroadcast struct {
+	Counter float64 // broadcaster's DTP counter estimate at the reading
+	UTC     float64 // ps
+}
+
+// UTCBroadcaster periodically publishes pairs to registered followers.
+// Delivery uses the DTP daemon's own counter estimate, so broadcaster-
+// side software error is included, as it would be in deployment.
+type UTCBroadcaster struct {
+	d        *Daemon
+	src      UTCSource
+	interval sim.Time
+	subs     []*UTCFollower
+	stopped  bool
+}
+
+// NewUTCBroadcaster wraps a daemon and a UTC source.
+func NewUTCBroadcaster(d *Daemon, src UTCSource, interval sim.Time) *UTCBroadcaster {
+	return &UTCBroadcaster{d: d, src: src, interval: interval}
+}
+
+// Subscribe registers a follower.
+func (b *UTCBroadcaster) Subscribe(f *UTCFollower) { b.subs = append(b.subs, f) }
+
+// Start begins broadcasting.
+func (b *UTCBroadcaster) Start() {
+	b.stopped = false
+	b.d.sch.After(b.interval, b.tick)
+}
+
+// Stop halts broadcasting.
+func (b *UTCBroadcaster) Stop() { b.stopped = true }
+
+func (b *UTCBroadcaster) tick() {
+	if b.stopped {
+		return
+	}
+	pair := UTCBroadcast{Counter: b.d.Estimate(), UTC: b.src.ReadUTC()}
+	for _, f := range b.subs {
+		f.deliver(pair)
+	}
+	b.d.sch.After(b.interval, b.tick)
+}
+
+// UTCFollower consumes broadcasts at one server and serves UTC queries
+// by interpolating the local DTP counter.
+type UTCFollower struct {
+	d *Daemon
+
+	have  bool
+	last  UTCBroadcast
+	ratio float64 // UTC ps per DTP unit
+	recvd uint64
+}
+
+// NewUTCFollower attaches a follower to a local daemon.
+func NewUTCFollower(d *Daemon) *UTCFollower {
+	return &UTCFollower{d: d, ratio: float64(d.dev.Clock().NominalPeriodFs()) / 1e3}
+}
+
+func (f *UTCFollower) deliver(pair UTCBroadcast) {
+	if f.have && pair.Counter > f.last.Counter {
+		inst := (pair.UTC - f.last.UTC) / (pair.Counter - f.last.Counter)
+		// Light smoothing: broadcast pairs carry daemon read noise.
+		f.ratio += 0.2 * (inst - f.ratio)
+	}
+	f.last = pair
+	f.have = true
+	f.recvd++
+}
+
+// Received returns the number of broadcasts consumed.
+func (f *UTCFollower) Received() uint64 { return f.recvd }
+
+// UTC returns this server's UTC estimate (ps) at the current instant,
+// or an error before the first broadcast.
+func (f *UTCFollower) UTC() (float64, error) {
+	if !f.have {
+		return 0, fmt.Errorf("daemon: no UTC broadcast received yet")
+	}
+	return f.last.UTC + (f.d.Estimate()-f.last.Counter)*f.ratio, nil
+}
+
+// UTCErrorPs returns ground truth |UTC estimate - true time|, +Inf
+// before the first broadcast.
+func (f *UTCFollower) UTCErrorPs() float64 {
+	utc, err := f.UTC()
+	if err != nil {
+		return math.Inf(1)
+	}
+	return utc - float64(f.d.sch.Now())
+}

@@ -1,0 +1,71 @@
+package gps
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+func TestReceiverPairwisePrecision(t *testing.T) {
+	// The paper: "GPS provides about 100 nanosecond precision in
+	// practice." Pairwise offsets between receivers must land in that
+	// regime: worst-case within a few hundred ns, typically around 100.
+	sch := sim.NewScheduler()
+	cfg := DefaultConfig()
+	var rx []*Receiver
+	for i := 0; i < 8; i++ {
+		rx = append(rx, NewReceiver(sch, cfg, 42, string(rune('a'+i))))
+	}
+	worst := 0.0
+	for s := 0; s < 1000; s++ {
+		sch.RunFor(sim.Millisecond)
+		for i := 0; i < len(rx); i++ {
+			for j := i + 1; j < len(rx); j++ {
+				if d := math.Abs(rx[i].Read()-rx[j].Read()) / 1000; d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	if worst > 400 {
+		t.Fatalf("pairwise GPS offset reached %.0f ns; want ~100ns class", worst)
+	}
+	if worst < 20 {
+		t.Fatalf("pairwise GPS offset %.0f ns implausibly tight", worst)
+	}
+}
+
+func TestReceiverBiasIsStable(t *testing.T) {
+	sch := sim.NewScheduler()
+	r := NewReceiver(sch, Config{BiasMaxNs: 50, NoiseNs: 0}, 7, "x")
+	sch.Run(sim.Second)
+	a := r.OffsetPs()
+	sch.RunFor(sim.Second)
+	b := r.OffsetPs()
+	if math.Abs(a-b) > 0.01 { // float64 rounding at 1e12-ps magnitudes
+		t.Fatalf("noise-free receiver bias moved: %v -> %v", a, b)
+	}
+	if math.Abs(a) > 50_000 {
+		t.Fatalf("bias %v ps outside ±50ns", a)
+	}
+}
+
+func TestReceiversHaveDistinctBiases(t *testing.T) {
+	sch := sim.NewScheduler()
+	cfg := Config{BiasMaxNs: 50, NoiseNs: 0}
+	a := NewReceiver(sch, cfg, 7, "a")
+	b := NewReceiver(sch, cfg, 7, "b")
+	if a.OffsetPs() == b.OffsetPs() {
+		t.Fatal("two receivers drew identical biases")
+	}
+}
+
+func TestReadTracksTrueTime(t *testing.T) {
+	sch := sim.NewScheduler()
+	r := NewReceiver(sch, DefaultConfig(), 9, "t")
+	sch.Run(10 * sim.Second)
+	if math.Abs(r.Read()-float64(10*sim.Second)) > 500_000 {
+		t.Fatal("receiver lost true time")
+	}
+}

@@ -1,0 +1,108 @@
+// Package link models the physical medium between two ports: constant
+// propagation delay derived from cable length, plus optional bit-error
+// injection at a configurable bit error rate (BER).
+//
+// The paper assumes (§3.1) that cable length — and hence propagation
+// delay — is bounded: ~5 ns/m of optic fiber, at most 1000 m inside a
+// datacenter. The wire is the only thing between two PHYs, which is why
+// the delay between peers is deterministic once measured.
+package link
+
+import (
+	"fmt"
+
+	"github.com/dtplab/dtp/internal/phy"
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// PropagationPerMeter is the signal propagation delay in fiber or twinax:
+// about 2/3 the speed of light.
+const PropagationPerMeter = 5 * sim.Nanosecond
+
+// DelayForLength converts a cable length to a propagation delay.
+func DelayForLength(meters float64) sim.Time {
+	return sim.Time(meters * float64(PropagationPerMeter))
+}
+
+// Config describes one direction of a physical link.
+type Config struct {
+	// Delay is the one-way propagation delay.
+	Delay sim.Time
+	// BER is the per-bit error probability. The 802.3 objective is
+	// 1e-12; tests crank this up to exercise DTP's failure handling.
+	BER float64
+}
+
+// Wire is one direction of a physical link. Serialization time is the
+// sender's responsibility (it depends on what is being sent); the wire
+// adds propagation delay and bit errors only.
+type Wire struct {
+	sch *sim.Scheduler
+	rng *sim.RNG
+	cfg Config
+
+	// blockErrP is the probability that a 66-bit block suffers at least
+	// one bit error: 1-(1-BER)^66 ≈ 66*BER for small BER.
+	blockErrP float64
+
+	sent      uint64
+	corrupted uint64
+}
+
+// New creates a wire.
+func New(sch *sim.Scheduler, rng *sim.RNG, cfg Config) *Wire {
+	if cfg.Delay < 0 {
+		panic(fmt.Sprintf("link: negative delay %v", cfg.Delay))
+	}
+	w := &Wire{sch: sch, rng: rng, cfg: cfg}
+	if cfg.BER > 0 {
+		w.blockErrP = 1 - pow1m(cfg.BER, 66)
+	}
+	return w
+}
+
+// pow1m computes (1-p)^n without math.Pow for tiny p.
+func pow1m(p float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 1 - p
+	}
+	return r
+}
+
+// Delay returns the propagation delay.
+func (w *Wire) Delay() sim.Time { return w.cfg.Delay }
+
+// SendBlock transmits a 66-bit PCS block: the receiver callback fires
+// after the propagation delay with the (possibly corrupted) block.
+func (w *Wire) SendBlock(b phy.Block, deliver func(phy.Block)) {
+	w.sent++
+	if w.blockErrP > 0 && w.rng.Bool(w.blockErrP) {
+		b = w.flipRandomBit(b)
+		w.corrupted++
+	}
+	w.sch.After(w.cfg.Delay, func() { deliver(b) })
+}
+
+// flipRandomBit flips one uniformly random bit of the 66 on the wire:
+// 2 sync bits or 64 payload bits.
+func (w *Wire) flipRandomBit(b phy.Block) phy.Block {
+	i := w.rng.IntN(66)
+	if i < 2 {
+		b.Sync ^= 1 << i
+	} else {
+		b.Payload ^= 1 << (i - 2)
+	}
+	return b
+}
+
+// Send transmits an opaque payload (e.g. a full Ethernet frame whose
+// per-bit corruption is handled by the frame's own FCS model): deliver
+// fires after the propagation delay.
+func (w *Wire) Send(deliver func()) {
+	w.sent++
+	w.sch.After(w.cfg.Delay, deliver)
+}
+
+// Stats returns the number of blocks/payloads sent and blocks corrupted.
+func (w *Wire) Stats() (sent, corrupted uint64) { return w.sent, w.corrupted }

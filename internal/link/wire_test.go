@@ -1,0 +1,138 @@
+package link
+
+import (
+	"testing"
+
+	"github.com/dtplab/dtp/internal/phy"
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+func TestDelayForLength(t *testing.T) {
+	if DelayForLength(10) != 50*sim.Nanosecond {
+		t.Fatalf("10m = %v, want 50ns", DelayForLength(10))
+	}
+	if DelayForLength(1000) != 5*sim.Microsecond {
+		t.Fatalf("1000m = %v, want 5us (paper's max)", DelayForLength(1000))
+	}
+}
+
+func TestSendBlockDelay(t *testing.T) {
+	sch := sim.NewScheduler()
+	w := New(sch, sim.NewRNG(1, "wire"), Config{Delay: 50 * sim.Nanosecond})
+	var arrived sim.Time
+	b := phy.IdleBlock()
+	w.SendBlock(b, func(got phy.Block) {
+		arrived = sch.Now()
+		if got != b {
+			t.Error("block corrupted on error-free wire")
+		}
+	})
+	sch.Run(sim.Microsecond)
+	if arrived != 50*sim.Nanosecond {
+		t.Fatalf("arrival at %v, want 50ns", arrived)
+	}
+}
+
+func TestSendOpaqueDelay(t *testing.T) {
+	sch := sim.NewScheduler()
+	w := New(sch, sim.NewRNG(1, "wire"), Config{Delay: 5 * sim.Microsecond})
+	fired := false
+	w.Send(func() { fired = sch.Now() == 5*sim.Microsecond })
+	sch.Run(sim.Second)
+	if !fired {
+		t.Fatal("opaque payload not delivered at the propagation delay")
+	}
+}
+
+func TestZeroBERNeverCorrupts(t *testing.T) {
+	sch := sim.NewScheduler()
+	w := New(sch, sim.NewRNG(1, "wire"), Config{Delay: 1})
+	for i := 0; i < 1000; i++ {
+		b := phy.Codec{}.EmbedMessage(phy.Message{Type: phy.MsgBeacon, Payload: uint64(i)})
+		w.SendBlock(b, func(got phy.Block) {
+			if got != b {
+				t.Error("corruption at BER 0")
+			}
+		})
+		sch.RunFor(sim.Nanosecond)
+	}
+	if _, c := w.Stats(); c != 0 {
+		t.Fatalf("corrupted count %d at BER 0", c)
+	}
+}
+
+func TestHighBERCorruptsAboutExpectedRate(t *testing.T) {
+	sch := sim.NewScheduler()
+	// BER 1e-3 => per-block error prob ~6.4%.
+	w := New(sch, sim.NewRNG(42, "wire"), Config{Delay: 1, BER: 1e-3})
+	n := 20000
+	diffs := 0
+	for i := 0; i < n; i++ {
+		b := phy.IdleBlock()
+		w.SendBlock(b, func(got phy.Block) {
+			if got != b {
+				diffs++
+			}
+		})
+		sch.RunFor(sim.Nanosecond)
+	}
+	frac := float64(diffs) / float64(n)
+	if frac < 0.05 || frac > 0.08 {
+		t.Fatalf("corruption rate %.4f, want ~0.064", frac)
+	}
+	_, corrupted := w.Stats()
+	if int(corrupted) != diffs {
+		t.Fatalf("stats corrupted=%d, observed %d", corrupted, diffs)
+	}
+}
+
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	sch := sim.NewScheduler()
+	w := New(sch, sim.NewRNG(7, "wire"), Config{Delay: 1, BER: 0.1})
+	sawSyncFlip := false
+	for i := 0; i < 5000; i++ {
+		b := phy.IdleBlock()
+		w.SendBlock(b, func(got phy.Block) {
+			if got == b {
+				return
+			}
+			syncDiff := popcount8(got.Sync ^ b.Sync)
+			payloadDiff := popcount64(got.Payload ^ b.Payload)
+			if syncDiff+payloadDiff != 1 {
+				t.Errorf("corruption flipped %d bits", syncDiff+payloadDiff)
+			}
+			if syncDiff == 1 {
+				sawSyncFlip = true
+			}
+		})
+		sch.RunFor(sim.Nanosecond)
+	}
+	if !sawSyncFlip {
+		t.Error("sync header bits never targeted by corruption")
+	}
+}
+
+func popcount8(v byte) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func popcount64(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	New(sim.NewScheduler(), sim.NewRNG(1, "w"), Config{Delay: -1})
+}

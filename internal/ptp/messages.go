@@ -1,0 +1,40 @@
+package ptp
+
+// Message kinds carried in eth.Frame payloads. Sync, Delay_Req and
+// Delay_Resp travel as PTP *event* frames (hardware timestamped and
+// transparent-clock corrected); Follow_Up and Announce as *general*
+// frames.
+
+// syncMsg is the grandmaster's Sync. In two-step mode the embedded
+// origin timestamp is approximate; the precise one follows in followUp.
+type syncMsg struct {
+	Seq uint64
+}
+
+// followUp carries the precise hardware TX timestamp of the matching
+// Sync, in grandmaster PTP time (ps).
+type followUp struct {
+	Seq uint64
+	T1  float64
+}
+
+// delayReq is the client's delay measurement probe.
+type delayReq struct {
+	Seq    uint64
+	Client int
+}
+
+// delayResp returns the grandmaster's RX hardware timestamp (t4) for the
+// matching delayReq.
+type delayResp struct {
+	Seq uint64
+	T4  float64
+}
+
+// announce advertises a master for the best-master-clock algorithm:
+// clients select the announcing master with the lowest priority value
+// and fail over when its announces stop.
+type announce struct {
+	GM       int
+	Priority int
+}

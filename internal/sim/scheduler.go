@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are single-shot; cancelling an
+// event that already fired is a no-op.
+type Event struct {
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among events with equal timestamps
+	index int    // heap index, -1 once fired or cancelled
+	fn    func()
+	q     *eventQueue
+}
+
+// At returns the simulated time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel removes the event from the scheduler. Returns false if the event
+// already fired or was already cancelled.
+func (e *Event) Cancel() bool {
+	if e.index < 0 {
+		return false
+	}
+	heap.Remove(e.owner(), e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+// owner is stashed on the queue slice header via a back-pointer set at push
+// time; storing it per event keeps Cancel O(log n) without a scheduler arg.
+func (e *Event) owner() *eventQueue { return e.q }
+
+type eventQueue struct {
+	events []*Event
+}
+
+func (q *eventQueue) Len() int { return len(q.events) }
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+func (q *eventQueue) Swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].index = i
+	q.events[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(q.events)
+	q.events = append(q.events, e)
+}
+func (q *eventQueue) Pop() any {
+	old := q.events
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	q.events = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use; simulations are single-goroutine by design so that a seed
+// fully determines a run.
+type Scheduler struct {
+	queue eventQueue
+	now   Time
+	seq   uint64
+
+	// processed counts events dispatched since construction, for reporting.
+	processed uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Processed returns the number of events dispatched so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug, and silently reordering time would
+// corrupt every downstream measurement.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, q: &s.queue}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step dispatches the single earliest event. It returns false when the
+// queue is empty.
+func (s *Scheduler) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	fn := e.fn
+	e.fn = nil
+	s.processed++
+	fn()
+	return true
+}
+
+// Run dispatches events until no event at or before `until` remains, then
+// advances the clock to exactly `until`. Events scheduled during the run
+// are honoured if they fall within the horizon.
+func (s *Scheduler) Run(until Time) {
+	if until < s.now {
+		panic(fmt.Sprintf("sim: Run(%v) before now %v", until, s.now))
+	}
+	for s.queue.Len() > 0 && s.queue.events[0].at <= until {
+		s.Step()
+	}
+	s.now = until
+}
+
+// RunFor advances the simulation by d. See Run.
+func (s *Scheduler) RunFor(d Time) { s.Run(s.now + d) }
+
+// Drain dispatches every remaining event regardless of timestamp. Intended
+// for tests; production experiments always run to a horizon.
+func (s *Scheduler) Drain() {
+	for s.Step() {
+	}
+}

@@ -1,0 +1,84 @@
+// Package swclock provides a steerable continuous clock: a counter
+// driven by a free-running oscillator whose frequency and phase a servo
+// can adjust. It models PTP hardware clocks (PHCs), NTP-disciplined
+// system clocks, and TSC-derived software clocks. Values are picoseconds
+// of protocol time; the underlying oscillator error is hidden from the
+// protocol, which must estimate and cancel it.
+//
+// Unlike internal/xo (exact integer-femtosecond tick counters for DTP's
+// PHY-level arithmetic), this clock is float64-based: the protocols it
+// serves operate at nanosecond-to-millisecond error scales where float
+// rounding is irrelevant.
+package swclock
+
+import (
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// Clock is a steerable clock.
+type Clock struct {
+	sch *sim.Scheduler
+
+	// hwPPM is the oscillator's true frequency error.
+	hwPPM float64
+	// adjPPB is the servo's current frequency correction.
+	adjPPB float64
+
+	baseReal sim.Time
+	baseVal  float64 // ps
+}
+
+// New creates a clock reading zero at the current simulated time,
+// drifting at hwPPM.
+func New(sch *sim.Scheduler, hwPPM float64) *Clock {
+	return &Clock{sch: sch, hwPPM: hwPPM, baseReal: sch.Now()}
+}
+
+// rate returns the clock's advance rate in clock-ps per real-ps.
+func (c *Clock) rate() float64 {
+	return 1 + c.hwPPM*1e-6 + c.adjPPB*1e-9
+}
+
+// At returns the clock reading (ps) at real time t. Note that t must not
+// precede the last rate change: readings are extrapolated from the
+// current segment only, exactly like real hardware (a past timestamp
+// must be latched when it happens, not reconstructed).
+func (c *Clock) At(t sim.Time) float64 {
+	return c.baseVal + float64(t-c.baseReal)*c.rate()
+}
+
+// Now returns the clock reading at the current simulated time.
+func (c *Clock) Now() float64 { return c.At(c.sch.Now()) }
+
+// rebase anchors the clock at the current instant so rate changes do
+// not rewrite history.
+func (c *Clock) rebase() {
+	now := c.sch.Now()
+	c.baseVal = c.At(now)
+	c.baseReal = now
+}
+
+// Step slews the clock phase instantaneously by deltaPs.
+func (c *Clock) Step(deltaPs float64) {
+	c.rebase()
+	c.baseVal += deltaPs
+}
+
+// AdjFreq sets the servo frequency correction in parts per billion.
+func (c *Clock) AdjFreq(ppb float64) {
+	c.rebase()
+	c.adjPPB = ppb
+}
+
+// AdjPPB returns the current servo correction.
+func (c *Clock) AdjPPB() float64 { return c.adjPPB }
+
+// SetHwPPM changes the underlying oscillator error (wander injection).
+func (c *Clock) SetHwPPM(ppm float64) {
+	c.rebase()
+	c.hwPPM = ppm
+}
+
+// HwPPM returns the true oscillator error (ground-truth access for
+// tests and experiment reporting).
+func (c *Clock) HwPPM() float64 { return c.hwPPM }

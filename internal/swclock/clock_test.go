@@ -1,0 +1,96 @@
+package swclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+func TestClockZeroAtCreation(t *testing.T) {
+	sch := sim.NewScheduler()
+	sch.Run(5 * sim.Second)
+	c := New(sch, 10)
+	if c.Now() != 0 {
+		t.Fatalf("new clock reads %v", c.Now())
+	}
+}
+
+func TestClockRate(t *testing.T) {
+	sch := sim.NewScheduler()
+	c := New(sch, -100)
+	sch.Run(sim.Second)
+	want := 1e12 * (1 - 100e-6)
+	if math.Abs(c.Now()-want) > 1 {
+		t.Fatalf("clock at -100ppm after 1s: %v, want %v", c.Now(), want)
+	}
+}
+
+func TestStepIsInstant(t *testing.T) {
+	sch := sim.NewScheduler()
+	c := New(sch, 0)
+	sch.Run(sim.Millisecond)
+	c.Step(12345)
+	if math.Abs(c.Now()-(1e9+12345)) > 1e-3 {
+		t.Fatalf("after step: %v", c.Now())
+	}
+}
+
+func TestAdjFreqFromNow(t *testing.T) {
+	sch := sim.NewScheduler()
+	c := New(sch, 0)
+	sch.Run(sim.Second)
+	c.AdjFreq(-2000) // -2 ppm
+	before := c.Now()
+	sch.RunFor(sim.Second)
+	gained := c.Now() - before
+	want := 1e12 * (1 - 2e-6)
+	if math.Abs(gained-want) > 1 {
+		t.Fatalf("gained %v, want %v", gained, want)
+	}
+	if c.AdjPPB() != -2000 {
+		t.Fatal("AdjPPB")
+	}
+}
+
+func TestSetHwPPMKeepsPhase(t *testing.T) {
+	sch := sim.NewScheduler()
+	c := New(sch, 40)
+	sch.Run(sim.Second)
+	v := c.Now()
+	c.SetHwPPM(-40)
+	if math.Abs(c.Now()-v) > 1e-3 {
+		t.Fatal("SetHwPPM moved the phase")
+	}
+	if c.HwPPM() != -40 {
+		t.Fatal("HwPPM")
+	}
+}
+
+// Property: the clock is monotone for any (bounded) sequence of positive
+// frequency adjustments and forward time steps.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(adjs []int16, steps []uint16) bool {
+		sch := sim.NewScheduler()
+		c := New(sch, 0)
+		prev := c.Now()
+		n := len(adjs)
+		if len(steps) < n {
+			n = len(steps)
+		}
+		for i := 0; i < n; i++ {
+			c.AdjFreq(float64(adjs[i])) // ±32k ppb, well under 1e9
+			sch.RunFor(sim.Time(steps[i]+1) * sim.Microsecond)
+			now := c.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

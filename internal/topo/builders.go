@@ -1,0 +1,130 @@
+package topo
+
+import "fmt"
+
+// DefaultCableM is the cable length used by builders: the paper's testbed
+// used 10-meter Cisco copper twinax cables.
+const DefaultCableM = 10.0
+
+// PaperTree reproduces the evaluation topology of Figure 5: a tree of
+// height two with root switch S0, intermediate switches S1–S3, and leaf
+// hosts S4–S11 (S1: S4–S6, S2: S7–S8, S3: S9–S11, matching the pairs
+// plotted in Figure 6). The maximum distance between any two leaves is
+// four hops.
+func PaperTree() Graph {
+	g := Graph{}
+	add := func(name string, k Kind) int {
+		id := len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{ID: id, Name: name, Kind: k})
+		return id
+	}
+	s0 := add("s0", Switch)
+	s1 := add("s1", Switch)
+	s2 := add("s2", Switch)
+	s3 := add("s3", Switch)
+	leaves := make([]int, 0, 8)
+	for i := 4; i <= 11; i++ {
+		leaves = append(leaves, add(fmt.Sprintf("s%d", i), Host))
+	}
+	connect := func(a, b int) { g.Links = append(g.Links, Link{A: a, B: b, LengthM: DefaultCableM}) }
+	connect(s0, s1)
+	connect(s0, s2)
+	connect(s0, s3)
+	connect(s1, leaves[0]) // s4
+	connect(s1, leaves[1]) // s5
+	connect(s1, leaves[2]) // s6
+	connect(s2, leaves[3]) // s7
+	connect(s2, leaves[4]) // s8
+	connect(s3, leaves[5]) // s9
+	connect(s3, leaves[6]) // s10
+	connect(s3, leaves[7]) // s11
+	return g
+}
+
+// Star builds a timeserver-plus-clients topology through one switch: the
+// PTP evaluation network of §6.1 (VelaSync grandmaster + IBM G8264 +
+// servers; every path is two hops). Node 0 is the switch, node 1 the
+// timeserver, nodes 2..n+1 the clients.
+func Star(clients int) Graph {
+	g := Graph{}
+	sw := 0
+	g.Nodes = append(g.Nodes, Node{ID: 0, Name: "sw", Kind: Switch})
+	g.Nodes = append(g.Nodes, Node{ID: 1, Name: "timeserver", Kind: Host})
+	g.Links = append(g.Links, Link{A: sw, B: 1, LengthM: DefaultCableM})
+	for i := 0; i < clients; i++ {
+		id := len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{ID: id, Name: fmt.Sprintf("s%d", i+4), Kind: Host})
+		g.Links = append(g.Links, Link{A: sw, B: id, LengthM: DefaultCableM})
+	}
+	return g
+}
+
+// Chain builds a linear chain host-switch-...-switch-host with the given
+// number of hops (links). Used for the 4TD-vs-hops sweep: a chain of D
+// hops has host diameter exactly D.
+func Chain(hops int) Graph {
+	if hops < 1 {
+		panic("topo: chain needs at least one hop")
+	}
+	g := Graph{}
+	g.Nodes = append(g.Nodes, Node{ID: 0, Name: "h0", Kind: Host})
+	for i := 1; i < hops; i++ {
+		g.Nodes = append(g.Nodes, Node{ID: i, Name: fmt.Sprintf("sw%d", i), Kind: Switch})
+	}
+	g.Nodes = append(g.Nodes, Node{ID: hops, Name: "h1", Kind: Host})
+	for i := 0; i < hops; i++ {
+		g.Links = append(g.Links, Link{A: i, B: i + 1, LengthM: DefaultCableM})
+	}
+	return g
+}
+
+// Pair builds two directly connected hosts.
+func Pair() Graph {
+	return Graph{
+		Nodes: []Node{{ID: 0, Name: "h0", Kind: Host}, {ID: 1, Name: "h1", Kind: Host}},
+		Links: []Link{{A: 0, B: 1, LengthM: DefaultCableM}},
+	}
+}
+
+// FatTree builds a k-ary fat-tree (Al-Fares et al., the topology the
+// paper cites for its six-hop diameter claim): k pods, each with k/2 edge
+// and k/2 aggregation switches, (k/2)^2 core switches, and k^3/4 hosts.
+// The longest host-to-host path is six hops.
+func FatTree(k int) Graph {
+	if k < 2 || k%2 != 0 {
+		panic("topo: fat-tree arity must be even and >= 2")
+	}
+	g := Graph{}
+	add := func(name string, kind Kind) int {
+		id := len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{ID: id, Name: name, Kind: kind})
+		return id
+	}
+	half := k / 2
+	core := make([]int, half*half)
+	for i := range core {
+		core[i] = add(fmt.Sprintf("core%d", i), Switch)
+	}
+	for p := 0; p < k; p++ {
+		agg := make([]int, half)
+		edge := make([]int, half)
+		for i := 0; i < half; i++ {
+			agg[i] = add(fmt.Sprintf("p%d-agg%d", p, i), Switch)
+			edge[i] = add(fmt.Sprintf("p%d-edge%d", p, i), Switch)
+		}
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				// Aggregation i connects to core group i.
+				g.Links = append(g.Links, Link{A: agg[i], B: core[i*half+j], LengthM: DefaultCableM})
+				g.Links = append(g.Links, Link{A: agg[i], B: edge[j], LengthM: DefaultCableM})
+			}
+		}
+		for i := 0; i < half; i++ {
+			for h := 0; h < half; h++ {
+				host := add(fmt.Sprintf("p%d-h%d-%d", p, i, h), Host)
+				g.Links = append(g.Links, Link{A: edge[i], B: host, LengthM: DefaultCableM})
+			}
+		}
+	}
+	return g
+}
