@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short bench experiments examples
+.PHONY: all build vet test test-short test-race bench bench-save experiments examples
 
 all: build vet test
 
@@ -17,9 +17,20 @@ test:
 test-short:
 	go test -short ./...
 
+# The telemetry registry and tracer are scraped concurrently with the
+# simulation; the race detector proves that sound.
+test-race:
+	go test -race -short ./...
+
 # One iteration of every paper table/figure benchmark with its metrics.
 bench:
 	go test -bench . -benchtime 1x -benchmem -run '^$$' .
+
+# Snapshot benchmark output to a dated file for benchstat against
+# future PRs.
+bench-save:
+	mkdir -p bench
+	go test -bench . -benchtime 1x -benchmem -run '^$$' . | tee bench/$$(date +%Y%m%d)-$$(git rev-parse --short HEAD).txt
 
 # Regenerate every table and figure (long; see EXPERIMENTS.md).
 experiments:

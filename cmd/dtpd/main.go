@@ -3,14 +3,21 @@
 // synchronization where one host broadcasts (counter, UTC) pairs and
 // every other host serves UTC by interpolation.
 //
-// Usage:
+// All measurement flows through the internal/telemetry Registry; with
+// -listen the live metrics and the protocol event trace are served over
+// HTTP for the life of the process:
 //
-//	dtpd -duration 2s -cal 10ms
+//	dtpd -duration 2s -cal 10ms -listen :9090 &
+//	curl localhost:9090/metrics   # Prometheus text exposition
+//	curl localhost:9090/trace     # JSONL protocol events
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -18,24 +25,48 @@ import (
 	"github.com/dtplab/dtp/internal/core"
 	"github.com/dtplab/dtp/internal/daemon"
 	"github.com/dtplab/dtp/internal/sim"
-	"github.com/dtplab/dtp/internal/stats"
+	"github.com/dtplab/dtp/internal/telemetry"
 	"github.com/dtplab/dtp/internal/topo"
 )
 
 var (
-	durFlag  = flag.Duration("duration", 2*time.Second, "simulated run length")
-	calFlag  = flag.Duration("cal", 10*time.Millisecond, "daemon calibration interval")
-	seedFlag = flag.Uint64("seed", 1, "deterministic seed")
+	durFlag    = flag.Duration("duration", 2*time.Second, "simulated run length")
+	calFlag    = flag.Duration("cal", 10*time.Millisecond, "daemon calibration interval")
+	seedFlag   = flag.Uint64("seed", 1, "deterministic seed")
+	listenFlag = flag.String("listen", "", "serve /metrics and /trace on this address (e.g. :9090) and keep running")
+	traceFlag  = flag.Int("trace-cap", 16384, "protocol trace ring capacity (events)")
 )
 
 func main() {
 	flag.Parse()
+	reg := telemetry.New()
+	tracer := telemetry.NewTracer(*traceFlag)
+	tracer.SetKinds() // demo binary: include per-beacon firehose kinds in /trace
+
+	// Bind the listener before simulating so a bad -listen fails fast.
+	var ln net.Listener
+	if *listenFlag != "" {
+		var err error
+		ln, err = net.Listen("tcp", *listenFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtpd:", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(ln, telemetry.Handler(reg, tracer)); err != nil {
+				fmt.Fprintln(os.Stderr, "dtpd: http:", err)
+			}
+		}()
+		fmt.Printf("dtpd: serving telemetry on http://%s/metrics and /trace\n", ln.Addr())
+	}
+
 	sch := sim.NewScheduler()
 	n, err := core.NewNetwork(sch, *seedFlag, topo.PaperTree(), core.DefaultConfig())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtpd:", err)
 		os.Exit(1)
 	}
+	n.Instrument(reg, tracer)
 	n.Start()
 	sch.Run(10 * sim.Millisecond)
 	if !n.AllSynced() {
@@ -47,7 +78,6 @@ func main() {
 	dcfg.CalInterval = sim.FromStd(*calFlag)
 	hosts := []string{"s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"}
 	daemons := map[string]*daemon.Daemon{}
-	sums := map[string]*stats.Summary{}
 	for i, h := range hosts {
 		dev, err := n.DeviceByName(h)
 		if err != nil {
@@ -55,11 +85,9 @@ func main() {
 			os.Exit(1)
 		}
 		d := daemon.New(dev, dcfg, *seedFlag+uint64(i)+100)
-		sum := stats.NewSummary(0)
-		d.OnSample = func(off float64) { sum.Add(off) }
+		d.Instrument(reg, tracer)
 		d.Start()
 		daemons[h] = d
-		sums[h] = sum
 	}
 
 	// External synchronization: s4's daemon broadcasts UTC (from a
@@ -79,28 +107,29 @@ func main() {
 	fmt.Printf("%-5s %8s %8s %8s %8s\n", "host", "samples", "min", "max", "p99|.|")
 	sort.Strings(hosts)
 	for _, h := range hosts {
-		s := sums[h]
-		p99 := s.Quantile(0.99)
-		if q := -s.Quantile(0.01); q > p99 {
-			p99 = q
-		}
-		fmt.Printf("%-5s %8d %8.1f %8.1f %8.1f\n", h, s.N(), s.Min(), s.Max(), p99)
+		hist := daemons[h].OffsetHistogram()
+		fmt.Printf("%-5s %8d %8.1f %8.1f %8.1f\n",
+			h, hist.Count(), hist.Min(), hist.Max(), hist.QuantileAbs(0.99))
 	}
 
 	fmt.Println("\n== UTC via external synchronization (§5.2), error vs true time")
-	utc := stats.NewSummary(0)
+	utc := reg.Histogram("dtp_utc_error_ns",
+		"UTC-follower error versus true time, in nanoseconds (§5.2).",
+		telemetry.LinearBuckets(-200, 20, 21))
 	for i := 0; i < 200; i++ {
 		sch.RunFor(sim.Millisecond)
 		for _, f := range followers {
-			utc.Add(f.UTCErrorPs() / 1000)
+			utc.Observe(f.UTCErrorPs() / 1000)
 		}
 	}
 	fmt.Printf("followers: %d, |error| max %.0f ns, p99 %.0f ns\n",
-		len(followers), utc.MaxAbs(), utc.Quantile(0.99))
+		len(followers), math.Max(math.Abs(utc.Min()), math.Abs(utc.Max())),
+		utc.QuantileAbs(0.99))
 
 	// Cross-host comparison: the end-to-end software precision claim
 	// (4TD + 8T).
-	worst := 0.0
+	worst := reg.Gauge("dtp_daemon_pairwise_worst_ticks",
+		"Worst daemon-vs-daemon estimate difference observed, in ticks.")
 	for i := 0; i < 200; i++ {
 		sch.RunFor(sim.Millisecond)
 		for _, a := range hosts {
@@ -109,15 +138,15 @@ func main() {
 					continue
 				}
 				e := daemons[a].OffsetUnits() - daemons[b].OffsetUnits()
-				if e < 0 {
-					e = -e
-				}
-				if e > worst {
-					worst = e
-				}
+				worst.SetMax(math.Abs(e))
 			}
 		}
 	}
 	fmt.Printf("\n== End-to-end software precision: worst daemon-vs-daemon error %.1f ticks (= %.1f ns; paper bound 4TD+8T)\n",
-		worst, worst*6.4)
+		worst.Value(), worst.Value()*6.4)
+
+	if ln != nil {
+		fmt.Printf("\ndtpd: simulation finished; telemetry stays up on http://%s (Ctrl-C to exit)\n", ln.Addr())
+		select {}
+	}
 }

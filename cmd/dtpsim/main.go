@@ -29,6 +29,8 @@ var (
 	loadFlag   = flag.String("load", "none", "link load: none | mtu | jumbo")
 	wanderFlag = flag.Bool("wander", true, "enable oscillator wander")
 	berFlag    = flag.Float64("ber", 0, "wire bit error rate")
+	metricsOut = flag.String("metrics-out", "", "write final metrics (Prometheus text format) to this file")
+	traceOut   = flag.String("trace-out", "", "write the protocol event trace (JSONL) to this file")
 )
 
 func parseTopo(s string) (dtp.Topology, error) {
@@ -76,6 +78,16 @@ func main() {
 		dtp.WithSeed(*seedFlag),
 		dtp.WithBeaconInterval(*beaconFlag),
 	}
+	var reg *dtp.MetricsRegistry
+	var tracer *dtp.Tracer
+	if *metricsOut != "" || *traceOut != "" {
+		reg = dtp.NewMetricsRegistry()
+		tracer = dtp.NewTracer(0)
+		if *traceOut != "" {
+			tracer.SetKinds() // dump requested: include per-beacon firehose kinds
+		}
+		opts = append(opts, dtp.WithTelemetry(reg, tracer))
+	}
 	if *wanderFlag {
 		opts = append(opts, dtp.WithWander(10*time.Millisecond, 100))
 	}
@@ -119,7 +131,35 @@ func main() {
 	}
 	fmt.Printf("worst offset over run: %d ticks = %.1f ns (bound %.1f ns)\n",
 		worst, float64(worst)*sys.TickNanos(), sys.BoundNanos())
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(f *os.File) error { return dtp.WriteMetrics(f, reg) }); err != nil {
+			fmt.Fprintln(os.Stderr, "dtpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error { return dtp.WriteTrace(f, tracer) }); err != nil {
+			fmt.Fprintln(os.Stderr, "dtpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
 	if worst > sys.BoundTicks() {
 		os.Exit(1)
 	}
+}
+
+// writeFile creates path, runs fill, and closes it, returning the first
+// error encountered.
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -22,12 +22,15 @@ package dtp
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"time"
 
 	"github.com/dtplab/dtp/internal/core"
 	"github.com/dtplab/dtp/internal/daemon"
 	"github.com/dtplab/dtp/internal/phy"
 	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/telemetry"
 	"github.com/dtplab/dtp/internal/topo"
 )
 
@@ -73,6 +76,8 @@ type config struct {
 	ppm    map[string]float64
 	daemon daemon.Config
 	mixed  []LinkSpeed
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
 }
 
 // WithSeed sets the deterministic run seed (default 1).
@@ -162,6 +167,46 @@ func WithMaster(root string) Option {
 	}
 }
 
+// MetricsRegistry holds live metrics (atomic counters, gauges, fixed-
+// bucket histograms) exportable in Prometheus text format.
+type MetricsRegistry = telemetry.Registry
+
+// Tracer records typed protocol events (state transitions, beacons,
+// counter jumps, link up/down, ...) into a bounded ring buffer,
+// exportable as JSONL.
+type Tracer = telemetry.Tracer
+
+// NewMetricsRegistry returns an empty registry for WithTelemetry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.New() }
+
+// NewTracer returns a tracer keeping the last capacity events
+// (default 8192 when capacity <= 0) for WithTelemetry.
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// WithTelemetry instruments the network (and any daemons attached
+// later) with a metrics registry and/or event tracer. Either argument
+// may be nil. Overhead is a few atomic operations per protocol event —
+// cheap enough to leave enabled permanently.
+func WithTelemetry(reg *MetricsRegistry, tr *Tracer) Option {
+	return func(c *config) { c.reg, c.tracer = reg, tr }
+}
+
+// WriteMetrics renders the registry in Prometheus text exposition
+// format. Output is byte-stable for a given registry state.
+func WriteMetrics(w io.Writer, reg *MetricsRegistry) error {
+	return telemetry.WritePrometheus(w, reg)
+}
+
+// WriteTrace dumps the tracer's retained events as JSON Lines.
+func WriteTrace(w io.Writer, tr *Tracer) error {
+	return telemetry.WriteJSONL(w, tr)
+}
+
+// TelemetryHandler serves /metrics (Prometheus) and /trace (JSONL).
+func TelemetryHandler(reg *MetricsRegistry, tr *Tracer) http.Handler {
+	return telemetry.Handler(reg, tr)
+}
+
 // System is a running DTP network simulation.
 type System struct {
 	sch *sim.Scheduler
@@ -194,6 +239,9 @@ func New(t Topology, opts ...Option) (*System, error) {
 	net, err := core.NewNetwork(sch, c.seed, t, c.cfg, coreOpts...)
 	if err != nil {
 		return nil, err
+	}
+	if c.reg != nil || c.tracer != nil {
+		net.Instrument(c.reg, c.tracer)
 	}
 	return &System{sch: sch, net: net, cfg: c}, nil
 }
@@ -364,6 +412,9 @@ func (s *System) AttachDaemon(host string, calEvery time.Duration) (*Daemon, err
 		cfg.CalInterval = sim.FromStd(calEvery)
 	}
 	d := daemon.New(dev, cfg, s.cfg.seed+uint64(dev.ID())+1000)
+	if s.cfg.reg != nil || s.cfg.tracer != nil {
+		d.Instrument(s.cfg.reg, s.cfg.tracer)
+	}
 	d.Start()
 	return &Daemon{d: d}, nil
 }

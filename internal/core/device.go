@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/telemetry"
 	"github.com/dtplab/dtp/internal/topo"
 	"github.com/dtplab/dtp/internal/xo"
 )
@@ -75,10 +76,21 @@ func (d *Device) PPM() float64 { return d.clock.PPM() }
 func (d *Device) jump(target uint64, from *Port, join bool) {
 	apply := func() {
 		now := d.net.Sch.Now()
-		if target <= d.gc.at(now) {
+		cur := d.gc.at(now)
+		if target <= cur {
 			return
 		}
 		d.gc.setAt(target, now)
+		tel := &d.net.tel
+		tel.jumpsN++
+		if tel.tr.Enabled(telemetry.KindCounterJump) {
+			joinFlag := int64(0)
+			if join {
+				joinFlag = 1
+			}
+			tel.tr.Record(now, telemetry.KindCounterJump, from.tname,
+				int64(target-cur), joinFlag, "")
+		}
 		if join {
 			for _, p := range d.ports {
 				if p != from && p.state == portSynced {
@@ -99,6 +111,11 @@ func (d *Device) jump(target uint64, from *Port, join bool) {
 // master, so it loses exactly the surplus ticks and then resumes.
 func (d *Device) stall(excess uint64, at simTime) {
 	d.gc.stallBy(excess, at)
+	tel := &d.net.tel
+	tel.stalls.Inc()
+	if tel.tr.Enabled(telemetry.KindCounterStall) {
+		tel.tr.Record(at, telemetry.KindCounterStall, d.node.Name, int64(excess), 0, "")
+	}
 }
 
 // tickDur converts n of this device's clock ticks to simulated time at

@@ -28,6 +28,10 @@ type Network struct {
 	// receiving port and the hardware offset sample
 	// offset = t2 - t1 - OWD (§6.2), in counter units.
 	OnOffset func(rx *Port, offsetUnits int64)
+
+	// tel holds telemetry handles; the zero value (uninstrumented) is a
+	// set of nil handles whose updates are no-ops. See Instrument.
+	tel coreMetrics
 }
 
 // Option customizes network construction.

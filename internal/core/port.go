@@ -6,6 +6,7 @@ import (
 	"github.com/dtplab/dtp/internal/link"
 	"github.com/dtplab/dtp/internal/phy"
 	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/telemetry"
 )
 
 // portState tracks where a port is in Algorithm 1.
@@ -93,6 +94,10 @@ type Port struct {
 	beaconsReceived uint64
 	beaconsIgnored  uint64
 	jumps           uint64
+
+	// tname is the precomputed Name() used in trace events, set by
+	// Network.Instrument so the hot path never formats strings.
+	tname string
 }
 
 // Name identifies the port for diagnostics, e.g. "s1[2]".
@@ -137,7 +142,10 @@ func (p *Port) Up() {
 	if p.state != portDown {
 		return
 	}
-	p.state = portInit
+	tel := &p.dev.net.tel
+	tel.portsUp.Add(1)
+	tel.tr.Record(p.sch().Now(), telemetry.KindLinkUp, p.tname, 0, 0, "")
+	p.setState(portInit)
 	p.faulty = false
 	p.violationCount = 0
 	if max := p.cfg().CDCMaxExtraTicks; max > 0 {
@@ -149,7 +157,12 @@ func (p *Port) Up() {
 // Down tears the port down (cable pull, peer power-off). Pending beacons
 // stop; counters keep running on both sides.
 func (p *Port) Down() {
-	p.state = portDown
+	if p.state != portDown {
+		tel := &p.dev.net.tel
+		tel.portsUp.Add(-1)
+		tel.tr.Record(p.sch().Now(), telemetry.KindLinkDown, p.tname, 0, 0, "")
+	}
+	p.setState(portDown)
 	p.owdUnits = -1
 	p.havePeerMsb = false
 	p.pendingJoin = nil
@@ -171,6 +184,9 @@ func (p *Port) Down() {
 const initSamples = 8
 
 func (p *Port) sendInit() {
+	tel := &p.dev.net.tel
+	tel.initRounds.Inc()
+	tel.tr.Record(p.sch().Now(), telemetry.KindInitRound, p.tname, int64(len(p.initRTTs)), 0, "")
 	p.initOutstanding = map[uint64]uint64{}
 	p.initRTTs = p.initRTTs[:0]
 	mask := p.codec().CounterMask()
@@ -248,6 +264,11 @@ func (p *Port) sendBeacon() {
 	now := p.sch().Now()
 	gc := p.dev.gc.at(now)
 	p.beaconsSent++
+	tel := &p.dev.net.tel
+	tel.sentN++
+	if tel.tr.Enabled(telemetry.KindBeaconTx) {
+		tel.tr.Record(now, telemetry.KindBeaconTx, p.tname, int64(gc), 0, "")
+	}
 	cfg := p.cfg()
 	if cfg.MsbEveryBeacons > 0 && p.beaconsSent%uint64(cfg.MsbEveryBeacons) == 0 {
 		p.insert(phy.MsgBeaconMSB, gc>>p.counterBits())
@@ -437,7 +458,10 @@ func (p *Port) finishInit() {
 		d = 0
 	}
 	p.owdUnits = d
-	p.state = portSynced
+	p.setState(portSynced)
+	tel := &p.dev.net.tel
+	tel.owd.Observe(float64(d))
+	tel.tr.Record(p.sch().Now(), telemetry.KindSynced, p.tname, d, int64(len(p.initRTTs)), "")
 	if p.initEvent != nil {
 		p.initEvent.Cancel()
 		p.initEvent = nil
@@ -467,16 +491,27 @@ func (p *Port) handleBeacon(lsb uint64) {
 
 	offset := int64(local) - int64(target) // == t2 - t1 - OWD (§6.2)
 
+	tel := &p.dev.net.tel
+	tel.rxN++
 	if p.faulty {
 		p.beaconsIgnored++
+		tel.ignoredN++
 		return
 	}
 	cfg := p.cfg()
 	if guard := cfg.GuardUnits * int64(p.pd); offset < -guard || offset > guard {
 		// Counter off by more than the guard: treat as bit error.
 		p.beaconsIgnored++
+		tel.ignoredN++
+		if tel.tr.Enabled(telemetry.KindBeaconIgnored) {
+			tel.tr.Record(now, telemetry.KindBeaconIgnored, p.tname, offset, 0, "")
+		}
 		p.recordViolation()
 		return
+	}
+	tel.offBatch.Observe(float64(offset))
+	if tel.tr.Enabled(telemetry.KindBeaconRx) {
+		tel.tr.Record(now, telemetry.KindBeaconRx, p.tname, offset, 0, "")
 	}
 	if cfg.FollowMaster {
 		// §5.4: only the uplink disciplines the counter; it follows the
@@ -532,7 +567,14 @@ func (p *Port) recordViolation() {
 		p.violationCount = 0
 	}
 	p.violationCount++
+	tel := &p.dev.net.tel
+	tel.violations.Inc()
 	if cfg.FaultyJumpLimit > 0 && p.violationCount > cfg.FaultyJumpLimit {
+		if !p.faulty {
+			tel.faultyPorts.Inc()
+			tel.tr.Record(p.sch().Now(), telemetry.KindFaultyPeer, p.tname,
+				int64(p.violationCount), 0, "")
+		}
 		p.faulty = true
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/dtplab/dtp/internal/core"
 	"github.com/dtplab/dtp/internal/sim"
 	"github.com/dtplab/dtp/internal/swclock"
+	"github.com/dtplab/dtp/internal/telemetry"
 )
 
 // Config models the host hardware.
@@ -84,6 +85,11 @@ type Daemon struct {
 	// OnSample, if set, receives offset_sw = estimate - hardware
 	// counter, in units, at each calibration (the §6.2 measurement).
 	OnSample func(offsetUnits float64)
+
+	// Telemetry handles (nil when uninstrumented; see Instrument).
+	cals    *telemetry.Counter
+	offHist *telemetry.Histogram
+	tr      *telemetry.Tracer
 }
 
 // New attaches a daemon to a DTP device.
@@ -98,6 +104,25 @@ func New(dev *core.Device, cfg Config, seed uint64) *Daemon {
 	d.ratio = 1e3 / float64(dev.Clock().NominalPeriodFs())
 	return d
 }
+
+// Instrument attaches telemetry: a calibration counter and a software-
+// offset histogram labeled with the host name, plus daemon_cal trace
+// events (V1 = offset in milli-units, V2 = calibration count). Either
+// argument may be nil.
+func (d *Daemon) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	host := d.dev.Name()
+	d.cals = reg.Counter("dtp_daemon_calibrations_total",
+		"PCIe calibration reads completed by the DTP daemon.", "host", host)
+	d.offHist = reg.Histogram("dtp_daemon_offset_units",
+		"Daemon software offset (estimate - hardware counter) in counter units (Fig. 7).",
+		telemetry.LinearBuckets(-20, 2, 21), "host", host)
+	d.tr = tr
+}
+
+// OffsetHistogram returns the instrumented software-offset histogram
+// (nil until Instrument is called). Callers use it to report quantiles
+// without wiring their own OnSample accumulators.
+func (d *Daemon) OffsetHistogram() *telemetry.Histogram { return d.offHist }
 
 // Start begins periodic calibration.
 func (d *Daemon) Start() {
@@ -158,10 +183,19 @@ func (d *Daemon) calibrate() {
 		d.calTSC = tscMid
 		d.haveCal = true
 		d.calCount++
-		if d.OnSample != nil {
+		d.cals.Inc()
+		if d.OnSample != nil || d.offHist != nil || d.tr.Enabled(telemetry.KindDaemonCal) {
 			est := d.EstimateAt(d.sch.Now())
 			truth := float64(d.dev.GlobalCounterAt(d.sch.Now()))
-			d.OnSample(est - truth)
+			off := est - truth
+			d.offHist.Observe(off)
+			if d.tr.Enabled(telemetry.KindDaemonCal) {
+				d.tr.Record(d.sch.Now(), telemetry.KindDaemonCal, d.dev.Name(),
+					int64(off*1000), int64(d.calCount), "")
+			}
+			if d.OnSample != nil {
+				d.OnSample(off)
+			}
 		}
 		d.sch.After(d.cfg.CalInterval, d.calibrate)
 	})

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the registry at /metrics
+// (Prometheus text exposition) and the tracer at /trace (JSONL). Either
+// argument may be nil, in which case its endpoint serves an empty body.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteJSONL(w, t)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("dtp telemetry: GET /metrics (Prometheus) or /trace (JSONL)\n"))
+	})
+	return mux
+}

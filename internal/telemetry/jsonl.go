@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteJSONL dumps the tracer's retained events as JSON Lines, one
+// event per line, oldest first. The schema is flat and stable:
+//
+//	{"seq":17,"t_ps":1280640,"kind":"beacon_rx","who":"s1[2]","v1":-1,"v2":0}
+//
+// "detail" appears only when non-empty. Field order is fixed, so two
+// identical traces serialize to identical bytes.
+func WriteJSONL(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.Reset()
+		b.WriteString(`{"seq":`)
+		b.WriteString(strconv.FormatUint(e.Seq, 10))
+		b.WriteString(`,"t_ps":`)
+		b.WriteString(strconv.FormatInt(int64(e.At), 10))
+		b.WriteString(`,"kind":"`)
+		b.WriteString(e.Kind.String())
+		b.WriteString(`","who":`)
+		b.WriteString(strconv.Quote(e.Who))
+		b.WriteString(`,"v1":`)
+		b.WriteString(strconv.FormatInt(e.V1, 10))
+		b.WriteString(`,"v2":`)
+		b.WriteString(strconv.FormatInt(e.V2, 10))
+		if e.Detail != "" {
+			b.WriteString(`,"detail":`)
+			b.WriteString(strconv.Quote(e.Detail))
+		}
+		b.WriteString("}\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return fmt.Errorf("telemetry: trace dump: %w", err)
+		}
+	}
+	return nil
+}
