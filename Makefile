@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench bench-save experiments examples
+.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit
 
 all: build vet test
 
@@ -31,6 +31,12 @@ bench:
 bench-save:
 	mkdir -p bench
 	go test -bench . -benchtime 1x -benchmem -run '^$$' . | tee bench/$$(date +%Y%m%d)-$$(git rev-parse --short HEAD).txt
+
+# Run the online 4TD-bound auditor over the quickstart topology under
+# MTU load; dtpsim exits nonzero on any bound violation.
+audit:
+	go run ./cmd/dtpsim -topo pair -duration 500ms -load mtu -audit
+	go run ./cmd/dtpsim -topo tree -duration 200ms -audit
 
 # Regenerate every table and figure (long; see EXPERIMENTS.md).
 experiments:

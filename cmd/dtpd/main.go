@@ -13,11 +13,13 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -35,6 +37,7 @@ var (
 	seedFlag   = flag.Uint64("seed", 1, "deterministic seed")
 	listenFlag = flag.String("listen", "", "serve /metrics and /trace on this address (e.g. :9090) and keep running")
 	traceFlag  = flag.Int("trace-cap", 16384, "protocol trace ring capacity (events)")
+	pprofFlag  = flag.Bool("pprof", false, "with -listen, also expose /debug/pprof/* and /debug/vars")
 )
 
 func main() {
@@ -52,15 +55,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dtpd:", err)
 			os.Exit(1)
 		}
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.Handler(reg, tracer))
+		if *pprofFlag {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			mux.Handle("/debug/vars", expvar.Handler())
+		}
 		go func() {
-			if err := http.Serve(ln, telemetry.Handler(reg, tracer)); err != nil {
+			if err := http.Serve(ln, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "dtpd: http:", err)
 			}
 		}()
 		fmt.Printf("dtpd: serving telemetry on http://%s/metrics and /trace\n", ln.Addr())
+		if *pprofFlag {
+			fmt.Printf("dtpd: runtime profiling on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+		}
 	}
 
 	sch := sim.NewScheduler()
+	// A long-lived daemon may report wall-clock throughput: these metrics
+	// are intentionally nondeterministic and never appear in dtpsim dumps.
+	telemetry.InstrumentScheduler(reg, sch, telemetry.SchedOptions{WallRate: true})
 	n, err := core.NewNetwork(sch, *seedFlag, topo.PaperTree(), core.DefaultConfig())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtpd:", err)

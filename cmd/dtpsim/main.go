@@ -13,11 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"github.com/dtplab/dtp"
+	"github.com/dtplab/dtp/internal/telemetry"
 )
 
 var (
@@ -29,47 +28,16 @@ var (
 	loadFlag   = flag.String("load", "none", "link load: none | mtu | jumbo")
 	wanderFlag = flag.Bool("wander", true, "enable oscillator wander")
 	berFlag    = flag.Float64("ber", 0, "wire bit error rate")
+	auditFlag  = flag.Bool("audit", false, "run the online 4TD-bound auditor; exit 1 on any violation")
+	auditEvery = flag.Duration("audit-every", 100*time.Microsecond, "auditor check cadence (simulated time)")
 	metricsOut = flag.String("metrics-out", "", "write final metrics (Prometheus text format) to this file")
 	traceOut   = flag.String("trace-out", "", "write the protocol event trace (JSONL) to this file")
+	traceCap   = flag.Int("trace-cap", 1<<20, "trace ring capacity; firehose kinds evict one-time INIT events from small rings")
 )
-
-func parseTopo(s string) (dtp.Topology, error) {
-	name, arg, _ := strings.Cut(s, ":")
-	n := 0
-	if arg != "" {
-		var err error
-		if n, err = strconv.Atoi(arg); err != nil {
-			return dtp.Topology{}, fmt.Errorf("bad topology arg %q", arg)
-		}
-	}
-	switch name {
-	case "pair":
-		return dtp.Pair(), nil
-	case "tree":
-		return dtp.PaperTree(), nil
-	case "star":
-		if n == 0 {
-			n = 8
-		}
-		return dtp.Star(n), nil
-	case "chain":
-		if n == 0 {
-			n = 4
-		}
-		return dtp.Chain(n), nil
-	case "fattree":
-		if n == 0 {
-			n = 4
-		}
-		return dtp.FatTree(n), nil
-	default:
-		return dtp.Topology{}, fmt.Errorf("unknown topology %q", name)
-	}
-}
 
 func main() {
 	flag.Parse()
-	g, err := parseTopo(*topoFlag)
+	g, err := dtp.ParseTopology(*topoFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtpsim:", err)
 		os.Exit(2)
@@ -80,9 +48,9 @@ func main() {
 	}
 	var reg *dtp.MetricsRegistry
 	var tracer *dtp.Tracer
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *auditFlag {
 		reg = dtp.NewMetricsRegistry()
-		tracer = dtp.NewTracer(0)
+		tracer = dtp.NewTracer(*traceCap)
 		if *traceOut != "" {
 			tracer.SetKinds() // dump requested: include per-beacon firehose kinds
 		}
@@ -102,12 +70,30 @@ func main() {
 	fmt.Printf("topology %s: %d devices, %d links, diameter %d, bound 4TD = %.1f ns\n",
 		*topoFlag, len(g.Nodes), len(g.Links), g.Diameter(), sys.BoundNanos())
 
+	if reg != nil {
+		sys.EnableSchedulerMetrics(false) // wall-clock rate stays off: -metrics-out must be deterministic
+	}
+	var aud *dtp.Auditor
+	if *auditFlag {
+		aud = sys.EnableAudit(*auditEvery)
+		fmt.Printf("auditor: checking every simulated %v against per-pair 4TD (+8T software margin)\n", *auditEvery)
+	}
+
 	sys.Start()
 	if err := sys.RunUntilSynced(time.Second); err != nil {
 		fmt.Fprintln(os.Stderr, "dtpsim:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("all %d links measured their one-way delays at t=%v\n", len(g.Links), sys.Now())
+
+	// Snapshot the trace now, while the one-shot INIT/synced events are
+	// still in the ring: on long runs the beacon firehose evicts them
+	// before the final dump, and offline analysis (dtptrace -assert-owd)
+	// needs them. The snapshot is merged into the dump by sequence number.
+	var earlyTrace []telemetry.Event
+	if *traceOut != "" {
+		earlyTrace = tracer.Events()
+	}
 
 	switch *loadFlag {
 	case "mtu":
@@ -131,6 +117,9 @@ func main() {
 	}
 	fmt.Printf("worst offset over run: %d ticks = %.1f ns (bound %.1f ns)\n",
 		worst, float64(worst)*sys.TickNanos(), sys.BoundNanos())
+	if aud != nil {
+		fmt.Println(aud.Summary())
+	}
 	if *metricsOut != "" {
 		if err := writeFile(*metricsOut, func(f *os.File) error { return dtp.WriteMetrics(f, reg) }); err != nil {
 			fmt.Fprintln(os.Stderr, "dtpsim:", err)
@@ -139,13 +128,24 @@ func main() {
 		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 	if *traceOut != "" {
-		if err := writeFile(*traceOut, func(f *os.File) error { return dtp.WriteTrace(f, tracer) }); err != nil {
+		final := tracer.Events()
+		var events []telemetry.Event
+		for _, e := range earlyTrace {
+			if len(final) == 0 || e.Seq < final[0].Seq {
+				events = append(events, e)
+			}
+		}
+		events = append(events, final...)
+		if err := writeFile(*traceOut, func(f *os.File) error { return telemetry.WriteEvents(f, events) }); err != nil {
 			fmt.Fprintln(os.Stderr, "dtpsim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace written to %s\n", *traceOut)
+		fmt.Printf("trace written to %s (%d events)\n", *traceOut, len(events))
 	}
 	if worst > sys.BoundTicks() {
+		os.Exit(1)
+	}
+	if aud != nil && aud.Violations() > 0 {
 		os.Exit(1)
 	}
 }

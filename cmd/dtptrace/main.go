@@ -1,0 +1,155 @@
+// Command dtptrace is the offline causal analyzer for recorded DTP
+// telemetry: it ingests a JSONL protocol trace (dtpsim -trace-out,
+// dtpd/dtpsim /trace endpoint) plus an optional Prometheus metrics dump
+// and reconstructs what the protocol did — per-port state-machine dwell
+// times, the INIT one-way-delay distribution (with an assertion hook
+// for the paper's 43–45 cycle range on 10 m cables), Figure 6c style
+// beacon-offset tables, counter-jump causality chains, and any bound
+// violations the online auditor recorded.
+//
+// Output is byte-deterministic for a given trace: two runs of the same
+// seed through dtpsim produce identical dtptrace reports.
+//
+// Usage:
+//
+//	dtpsim -topo tree -duration 200ms -trace-out trace.jsonl -metrics-out m.prom
+//	dtptrace -trace trace.jsonl -topo tree -metrics m.prom -assert-owd 43:45
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dtplab/dtp"
+	"github.com/dtplab/dtp/internal/audit"
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/telemetry"
+	"github.com/dtplab/dtp/internal/topo"
+)
+
+var (
+	traceFlag  = flag.String("trace", "", "JSONL trace file to analyze (required)")
+	metricsIn  = flag.String("metrics", "", "optional Prometheus text dump to summarize")
+	topoFlag   = flag.String("topo", "", "topology the trace was recorded on (pair | tree | star:N | chain:N | fattree:K); enables jump-chain analysis")
+	owdFlag    = flag.String("assert-owd", "", "fail unless every measured OWD lies in lo:hi port cycles (paper: 43:45 on 10 m cables)")
+	topFlag    = flag.Int("top", 5, "causality chains to print")
+	windowFlag = flag.Duration("window", 10*time.Microsecond, "max cause-effect gap between chained counter jumps")
+)
+
+func main() {
+	flag.Parse()
+	if *traceFlag == "" {
+		fmt.Fprintln(os.Stderr, "dtptrace: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*traceFlag)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := telemetry.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var g *topo.Graph
+	if *topoFlag != "" {
+		parsed, err := dtp.ParseTopology(*topoFlag)
+		if err != nil {
+			fatal(err)
+		}
+		g = &parsed
+	}
+
+	report := audit.Analyze(events, g, sim.FromStd(*windowFlag))
+	if err := report.WriteText(os.Stdout, *topFlag); err != nil {
+		fatal(err)
+	}
+
+	if *metricsIn != "" {
+		if err := summarizeMetrics(*metricsIn); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *owdFlag != "" {
+		lo, hi, err := parseRange(*owdFlag)
+		if err != nil {
+			fatal(err)
+		}
+		mlo, mhi, n := report.OWDRange()
+		switch {
+		case n == 0:
+			fmt.Printf("\nOWD assertion %d..%d: FAIL (no synced events in trace)\n", lo, hi)
+			os.Exit(1)
+		case mlo < lo || mhi > hi:
+			fmt.Printf("\nOWD assertion %d..%d: FAIL (measured %d..%d over %d samples)\n", lo, hi, mlo, mhi, n)
+			os.Exit(1)
+		default:
+			fmt.Printf("\nOWD assertion %d..%d: ok (measured %d..%d over %d samples)\n", lo, hi, mlo, mhi, n)
+		}
+	}
+	if len(report.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseRange parses "43:45" or "43-45".
+func parseRange(s string) (lo, hi int64, err error) {
+	sep := ":"
+	if !strings.Contains(s, sep) {
+		sep = "-"
+	}
+	a, b, ok := strings.Cut(s, sep)
+	if !ok {
+		return 0, 0, fmt.Errorf("dtptrace: bad range %q, want lo:hi", s)
+	}
+	if lo, err = strconv.ParseInt(a, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("dtptrace: bad range %q: %w", s, err)
+	}
+	if hi, err = strconv.ParseInt(b, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("dtptrace: bad range %q: %w", s, err)
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("dtptrace: empty range %q", s)
+	}
+	return lo, hi, nil
+}
+
+// summarizeMetrics echoes the dtp_* samples of a Prometheus text dump
+// (skipping histogram buckets). WritePrometheus sorts families and
+// series, so the echo is deterministic too.
+func summarizeMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Println("\n== Metrics summary (dtp_* samples)")
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	shown := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "dtp_") || strings.Contains(line, "_bucket{") {
+			continue
+		}
+		fmt.Println(line)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("no dtp_* samples found")
+	}
+	return sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtptrace:", err)
+	os.Exit(1)
+}

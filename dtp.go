@@ -24,8 +24,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
+	"github.com/dtplab/dtp/internal/audit"
 	"github.com/dtplab/dtp/internal/core"
 	"github.com/dtplab/dtp/internal/daemon"
 	"github.com/dtplab/dtp/internal/phy"
@@ -66,6 +69,42 @@ func FatTree(k int) Topology { return topo.FatTree(k) }
 
 // Star returns a single switch with n hosts plus a timeserver.
 func Star(n int) Topology { return topo.Star(n) }
+
+// ParseTopology parses the CLI topology syntax shared by cmd/dtpsim and
+// cmd/dtptrace: "pair | tree | star:N | chain:N | fattree:K".
+func ParseTopology(spec string) (Topology, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	n := 0
+	if arg != "" {
+		var err error
+		if n, err = strconv.Atoi(arg); err != nil {
+			return Topology{}, fmt.Errorf("dtp: bad topology arg %q", arg)
+		}
+	}
+	switch name {
+	case "pair":
+		return Pair(), nil
+	case "tree":
+		return PaperTree(), nil
+	case "star":
+		if n == 0 {
+			n = 8
+		}
+		return Star(n), nil
+	case "chain":
+		if n == 0 {
+			n = 4
+		}
+		return Chain(n), nil
+	case "fattree":
+		if n == 0 {
+			n = 4
+		}
+		return FatTree(n), nil
+	default:
+		return Topology{}, fmt.Errorf("dtp: unknown topology %q", name)
+	}
+}
 
 // Option configures a System.
 type Option func(*config)
@@ -391,6 +430,38 @@ func (s *System) MeasuredOWDTicks(a, b string) (int64, error) {
 		return 0, err
 	}
 	return p.OWDUnits(), nil
+}
+
+// Auditor is the online 4TD-bound auditor from internal/audit: it
+// snapshots every device's counter at a fixed simulated cadence and
+// verifies each pair against its live hop-distance bound, emitting
+// bound_violation trace events with causal context on breach.
+type Auditor = audit.Auditor
+
+// EnableAudit attaches and starts an online precision auditor checking
+// every device pair every `every` of simulated time (0 selects the
+// 100 µs default). When the System was built WithTelemetry, audit
+// counters, worst-offset/min-slack gauges, time-to-sync, and
+// reconvergence metrics land in the registry, and violations emit
+// tracer events.
+func (s *System) EnableAudit(every time.Duration) *Auditor {
+	cfg := audit.DefaultConfig()
+	if every > 0 {
+		cfg.Interval = sim.FromStd(every)
+	}
+	a := audit.New(s.net, cfg)
+	a.Instrument(s.cfg.reg, s.cfg.tracer)
+	a.Start()
+	return a
+}
+
+// EnableSchedulerMetrics exports the event loop's own throughput
+// (events processed, queue depth and high water, a depth histogram)
+// through the WithTelemetry registry. wallRate additionally exports
+// events per wall-clock second — useful live, but host-dependent, so
+// leave it off when the metric export must be byte-deterministic.
+func (s *System) EnableSchedulerMetrics(wallRate bool) {
+	telemetry.InstrumentScheduler(s.cfg.reg, s.sch, telemetry.SchedOptions{WallRate: wallRate})
 }
 
 // Daemon is a software clock served by the DTP daemon on one host

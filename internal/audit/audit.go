@@ -1,0 +1,470 @@
+// Package audit verifies the paper's central claim while the simulation
+// is still running: pairwise device offsets never exceed 4TD (§3.3).
+//
+// The Auditor snapshots every device's global counter at a configurable
+// simulated cadence, derives each pair's live precision bound from BFS
+// hop distances over the currently synchronized links (so the bound
+// tightens and relaxes as links flap, and mixed-speed hops are charged
+// their own 4-cycle share), and checks every reachable pair. A
+// violation increments registry counters and emits a first-class
+// KindBoundViolation trace event whose detail carries causal context:
+// the last trace events touching either offending device, so an offline
+// reader (cmd/dtptrace) can attribute the error to the protocol events
+// that caused it.
+//
+// The package also houses the offline trace analyzer behind
+// cmd/dtptrace (see analyze.go): state-machine dwell times, OWD and
+// offset distributions, and counter-jump causality chains.
+package audit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/dtplab/dtp/internal/core"
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/telemetry"
+)
+
+// Config tunes the online auditor. The zero value selects defaults.
+type Config struct {
+	// Interval is the snapshot cadence in simulated time (default 100 µs).
+	Interval sim.Time
+
+	// SoftwareMarginUnits is extra slack added to every pair's bound.
+	// Hardware counters need none; audits of daemon-read clocks add the
+	// paper's 8T software-access margin here (§5.1).
+	SoftwareMarginUnits int64
+
+	// CausalDepth is how many trace events of context a violation
+	// carries (default 8).
+	CausalDepth int
+
+	// GraceChecks is how many checks are skipped after the set of
+	// synchronized links changes (default 2). A freshly (re)joined
+	// subnet announces its counter via BEACON-JOIN only JoinDelayTicks
+	// after INIT completes, so the instant a link reports synced its two
+	// sides may legitimately still be far apart.
+	GraceChecks int
+
+	// HostsOnly restricts auditing to host pairs (the end-to-end
+	// precision that matters to applications). Default: every device.
+	HostsOnly bool
+
+	// MaxPairSeries caps per-pair worst-offset gauges registered with
+	// the telemetry registry (default 256); larger networks keep
+	// per-pair worsts internally but export only aggregates.
+	MaxPairSeries int
+
+	// MaxViolationEvents caps how many violation trace events (each of
+	// which snapshots causal context from the tracer ring) are emitted
+	// per check; counters still count every violation (default 4).
+	MaxViolationEvents int
+}
+
+// DefaultConfig returns the default auditor configuration.
+func DefaultConfig() Config {
+	return Config{
+		Interval:           100 * sim.Microsecond,
+		CausalDepth:        8,
+		GraceChecks:        2,
+		MaxPairSeries:      256,
+		MaxViolationEvents: 4,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.CausalDepth <= 0 {
+		c.CausalDepth = d.CausalDepth
+	}
+	if c.GraceChecks <= 0 {
+		c.GraceChecks = d.GraceChecks
+	}
+	if c.MaxPairSeries <= 0 {
+		c.MaxPairSeries = d.MaxPairSeries
+	}
+	if c.MaxViolationEvents <= 0 {
+		c.MaxViolationEvents = d.MaxViolationEvents
+	}
+}
+
+// Violation is one observed breach of the precision bound.
+type Violation struct {
+	At                      sim.Time
+	A, B                    string // device names, topology order
+	Hops                    int
+	OffsetUnits, BoundUnits int64
+	// Context holds the last trace events touching either device at the
+	// time of the violation — the causal chain that led here.
+	Context []telemetry.Event
+}
+
+// Auditor continuously verifies the 4TD bound over a core.Network. All
+// work happens in scheduler events on the simulation goroutine; the
+// telemetry it publishes may be scraped concurrently.
+type Auditor struct {
+	net *core.Network
+	sch *sim.Scheduler
+	cfg Config
+
+	nodes   []int   // audited node IDs
+	weights []int64 // per-link bound contribution, units
+	active  []bool  // link-synced bitmap as of the last check
+	hops    [][]int
+	bounds  [][]int64
+
+	grace         int
+	converged     bool
+	everConverged bool
+	badSince      sim.Time
+	timeToSync    sim.Time
+	reconv        []sim.Time
+
+	checks     uint64
+	pairChecks uint64
+	violations uint64
+	worst      int64
+	minSlack   int64
+	pairWorst  map[[2]int]int64
+	lastViol   *Violation
+
+	tr         *telemetry.Tracer
+	mChecks    *telemetry.Counter
+	mPairs     *telemetry.Counter
+	mViol      *telemetry.Counter
+	mWorst     *telemetry.Gauge
+	mSlack     *telemetry.Gauge
+	mTTS       *telemetry.Gauge
+	mReconv    *telemetry.Histogram
+	pairGauges map[[2]int]*telemetry.Gauge
+
+	counters []uint64 // per-node snapshot scratch, reused across checks
+	event    *sim.Event
+	stopped  bool
+}
+
+// New builds an auditor over the network. Call Instrument to attach
+// telemetry (optional), then Start.
+func New(n *core.Network, cfg Config) *Auditor {
+	cfg.fillDefaults()
+	a := &Auditor{
+		net:        n,
+		sch:        n.Sch,
+		cfg:        cfg,
+		active:     make([]bool, len(n.Graph.Links)),
+		weights:    make([]int64, len(n.Graph.Links)),
+		pairWorst:  map[[2]int]int64{},
+		pairGauges: map[[2]int]*telemetry.Gauge{},
+		timeToSync: -1,
+		minSlack:   math.MaxInt64,
+		counters:   make([]uint64, len(n.Graph.Nodes)),
+	}
+	for i := range n.Graph.Links {
+		a.weights[i] = n.LinkBoundUnits(i)
+	}
+	if cfg.HostsOnly {
+		a.nodes = n.Graph.HostIDs()
+	} else {
+		for i := range n.Graph.Nodes {
+			a.nodes = append(a.nodes, i)
+		}
+	}
+	return a
+}
+
+// Instrument attaches a metrics registry and/or tracer. Either may be
+// nil; all handles are nil-safe. Per-pair worst-offset gauges are
+// registered only when the pair count fits MaxPairSeries.
+func (a *Auditor) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	a.tr = tr
+	a.mChecks = reg.Counter("dtp_audit_checks_total",
+		"Auditor snapshot rounds performed.")
+	a.mPairs = reg.Counter("dtp_audit_pairs_checked_total",
+		"Device pairs checked against their live 4TD bound.")
+	a.mViol = reg.Counter("dtp_audit_violations_total",
+		"Pairs observed outside their 4TD precision bound.")
+	a.mWorst = reg.Gauge("dtp_audit_worst_offset_units",
+		"Largest |pairwise offset| the auditor has observed, in counter units.")
+	a.mSlack = reg.Gauge("dtp_audit_min_slack_units",
+		"Smallest (bound - |offset|) headroom observed, in counter units.")
+	a.mSlack.Set(math.Inf(1))
+	a.mTTS = reg.Gauge("dtp_audit_time_to_sync_seconds",
+		"Simulated time at which the network first converged within bound.")
+	a.mTTS.Set(-1)
+	a.mReconv = reg.Histogram("dtp_audit_reconvergence_seconds",
+		"Durations from a disruption (link flap, violation) back to a fully in-bound network.",
+		telemetry.ExponentialBuckets(1e-6, 4, 12))
+	if reg != nil {
+		np := len(a.nodes) * (len(a.nodes) - 1) / 2
+		if np <= a.cfg.MaxPairSeries {
+			for x, i := range a.nodes {
+				for _, j := range a.nodes[x+1:] {
+					key := [2]int{i, j}
+					a.pairGauges[key] = reg.Gauge("dtp_audit_pair_worst_offset_units",
+						"Largest |offset| observed for this device pair, in counter units.",
+						"pair", a.pairName(i, j))
+				}
+			}
+		}
+	}
+}
+
+func (a *Auditor) pairName(i, j int) string {
+	return a.net.Graph.Nodes[i].Name + "-" + a.net.Graph.Nodes[j].Name
+}
+
+// Start schedules the periodic check. The auditor is quiet until the
+// first link synchronizes.
+func (a *Auditor) Start() {
+	a.stopped = false
+	a.event = a.sch.After(a.cfg.Interval, a.check)
+}
+
+// Stop cancels the periodic check.
+func (a *Auditor) Stop() {
+	a.stopped = true
+	if a.event != nil {
+		a.event.Cancel()
+		a.event = nil
+	}
+}
+
+// noteDisruption marks the start of a not-converged spell.
+func (a *Auditor) noteDisruption(now sim.Time) {
+	if a.converged {
+		a.converged = false
+		a.badSince = now
+	}
+}
+
+func (a *Auditor) check() {
+	if a.stopped {
+		return
+	}
+	now := a.sch.Now()
+	a.checks++
+	a.mChecks.Inc()
+
+	changed := a.hops == nil
+	for i := range a.active {
+		s := a.net.LinkSynced(i)
+		if s != a.active[i] {
+			a.active[i] = s
+			changed = true
+		}
+	}
+	if changed {
+		a.hops, a.bounds = a.net.Graph.HopsWith(a.active, a.weights)
+		a.grace = a.cfg.GraceChecks
+		a.noteDisruption(now)
+	}
+	if a.grace > 0 {
+		a.grace--
+		a.reschedule()
+		return
+	}
+
+	for _, i := range a.nodes {
+		a.counters[i] = a.net.Devices[i].GlobalCounterAt(now)
+	}
+	clean := true
+	connected := true
+	var pairs uint64
+	var eventsLeft = a.cfg.MaxViolationEvents
+	for x, i := range a.nodes {
+		for _, j := range a.nodes[x+1:] {
+			d := a.hops[i][j]
+			if d < 0 {
+				connected = false
+				continue
+			}
+			pairs++
+			off := int64(a.counters[i]) - int64(a.counters[j])
+			abs := off
+			if abs < 0 {
+				abs = -abs
+			}
+			bound := a.bounds[i][j] + a.cfg.SoftwareMarginUnits
+			if abs > a.worst {
+				a.worst = abs
+				a.mWorst.Set(float64(abs))
+			}
+			key := [2]int{i, j}
+			if abs > a.pairWorst[key] {
+				a.pairWorst[key] = abs
+				if g := a.pairGauges[key]; g != nil {
+					g.Set(float64(abs))
+				}
+			}
+			if slack := bound - abs; slack < a.minSlack {
+				a.minSlack = slack
+				a.mSlack.Set(float64(slack))
+			}
+			if abs > bound {
+				clean = false
+				a.recordViolation(now, i, j, d, off, bound, eventsLeft > 0)
+				if eventsLeft > 0 {
+					eventsLeft--
+				}
+			}
+		}
+	}
+	a.pairChecks += pairs
+	a.mPairs.Add(pairs)
+
+	if clean && connected && pairs > 0 {
+		if !a.converged {
+			a.converged = true
+			if !a.everConverged {
+				a.everConverged = true
+				a.timeToSync = now
+				a.mTTS.Set(now.Seconds())
+			} else {
+				dur := now - a.badSince
+				a.reconv = append(a.reconv, dur)
+				a.mReconv.Observe(dur.Seconds())
+			}
+		}
+	} else {
+		a.noteDisruption(now)
+	}
+	a.reschedule()
+}
+
+func (a *Auditor) reschedule() {
+	if !a.stopped {
+		a.event = a.sch.After(a.cfg.Interval, a.check)
+	}
+}
+
+// recordViolation counts a bound breach and, when emit is set, captures
+// causal context and publishes a KindBoundViolation trace event.
+func (a *Auditor) recordViolation(at sim.Time, i, j, hops int, off, bound int64, emit bool) {
+	a.violations++
+	a.mViol.Inc()
+	if !emit {
+		return
+	}
+	an := a.net.Graph.Nodes[i].Name
+	bn := a.net.Graph.Nodes[j].Name
+	ctx := a.causalContext(an, bn)
+	a.lastViol = &Violation{
+		At: at, A: an, B: bn, Hops: hops,
+		OffsetUnits: off, BoundUnits: bound, Context: ctx,
+	}
+	if a.tr.Enabled(telemetry.KindBoundViolation) {
+		a.tr.Record(at, telemetry.KindBoundViolation, an+"~"+bn, off, bound,
+			violationDetail(hops, ctx))
+	}
+}
+
+// causalContext returns the last CausalDepth retained trace events that
+// touch either device (by device name or any of its ports), oldest
+// first. Violation events themselves are excluded so repeated breaches
+// do not bury the protocol events that caused the first one.
+func (a *Auditor) causalContext(an, bn string) []telemetry.Event {
+	if a.tr == nil {
+		return nil
+	}
+	events := a.tr.Events()
+	var ctx []telemetry.Event
+	for k := len(events) - 1; k >= 0 && len(ctx) < a.cfg.CausalDepth; k-- {
+		e := events[k]
+		if e.Kind == telemetry.KindBoundViolation {
+			continue
+		}
+		if touches(e.Who, an) || touches(e.Who, bn) {
+			ctx = append(ctx, e)
+		}
+	}
+	// Reverse into chronological order.
+	for l, r := 0, len(ctx)-1; l < r; l, r = l+1, r-1 {
+		ctx[l], ctx[r] = ctx[r], ctx[l]
+	}
+	return ctx
+}
+
+// touches reports whether the event's Who ("s1" or "s1[2]") belongs to
+// the named device.
+func touches(who, dev string) bool {
+	return who == dev || (strings.HasPrefix(who, dev) && len(who) > len(dev) && who[len(dev)] == '[')
+}
+
+// violationDetail renders the hop distance and causal context into a
+// compact single-line string for the trace event.
+func violationDetail(hops int, ctx []telemetry.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hops=%d", hops)
+	if len(ctx) > 0 {
+		b.WriteString(" ctx=[")
+		for k, e := range ctx {
+			if k > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%s %s v1=%d v2=%d @%v", e.Kind, e.Who, e.V1, e.V2, e.At)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// --- Accessors ---------------------------------------------------------
+
+// Checks returns how many snapshot rounds ran.
+func (a *Auditor) Checks() uint64 { return a.checks }
+
+// PairChecks returns how many pair-bound comparisons ran.
+func (a *Auditor) PairChecks() uint64 { return a.pairChecks }
+
+// Violations returns how many pair checks breached their bound.
+func (a *Auditor) Violations() uint64 { return a.violations }
+
+// WorstOffsetUnits returns the largest |offset| observed, in units.
+func (a *Auditor) WorstOffsetUnits() int64 { return a.worst }
+
+// MinSlackUnits returns the smallest (bound - |offset|) headroom
+// observed (math.MaxInt64 before any pair was checked).
+func (a *Auditor) MinSlackUnits() int64 { return a.minSlack }
+
+// TimeToSync returns when the network first converged fully in-bound
+// (-1 if it never has).
+func (a *Auditor) TimeToSync() sim.Time { return a.timeToSync }
+
+// Reconvergences returns the duration of every completed disruption
+// spell after the first convergence — e.g. recovery from a link flap.
+func (a *Auditor) Reconvergences() []sim.Time { return a.reconv }
+
+// Converged reports whether the last completed check found every pair
+// reachable and in bound.
+func (a *Auditor) Converged() bool { return a.converged }
+
+// LastViolation returns the most recent emitted violation (nil if none).
+func (a *Auditor) LastViolation() *Violation { return a.lastViol }
+
+// WorstPairOffsetUnits returns the worst |offset| seen for a device
+// pair, by topology node IDs in either order (0 if never checked).
+func (a *Auditor) WorstPairOffsetUnits(i, j int) int64 {
+	if i > j {
+		i, j = j, i
+	}
+	return a.pairWorst[[2]int{i, j}]
+}
+
+// Summary renders a one-line report.
+func (a *Auditor) Summary() string {
+	tts := "never"
+	if a.timeToSync >= 0 {
+		tts = a.timeToSync.String()
+	}
+	slack := ""
+	if a.minSlack != math.MaxInt64 {
+		slack = fmt.Sprintf(" min-slack %d", a.minSlack)
+	}
+	return fmt.Sprintf("audit: %d checks, %d pair checks, %d violations, worst |offset| %d units%s, first sync %s, %d reconvergences",
+		a.checks, a.pairChecks, a.violations, a.worst, slack, tts, len(a.reconv))
+}

@@ -246,6 +246,22 @@ func (n *Network) MaxPairwiseOffset() int64 {
 	return max
 }
 
+// LinkSynced reports whether both ports of topology link i completed
+// their delay measurement — the link is actively carrying beacons.
+func (n *Network) LinkSynced(i int) bool {
+	lp := n.linkPorts[i]
+	return lp[0].state == portSynced && lp[1].state == portSynced
+}
+
+// LinkBoundUnits returns topology link i's per-hop contribution to the
+// 4TD precision bound, in counter units: 4 port cycles at the link's
+// speed. In a homogeneous network every link contributes 4 ticks; in a
+// mixed-speed network (§7) a link contributes 4×Delta base units.
+func (n *Network) LinkBoundUnits(i int) int64 {
+	p := n.linkPorts[i][0]
+	return 4 * int64(p.pd) * int64(n.cfg.UnitsPerTick)
+}
+
 // AllSynced reports whether every port of every link has completed its
 // delay measurement.
 func (n *Network) AllSynced() bool {

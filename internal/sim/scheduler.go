@@ -76,6 +76,8 @@ type Scheduler struct {
 
 	// processed counts events dispatched since construction, for reporting.
 	processed uint64
+	// highWater is the largest queue depth ever reached, for reporting.
+	highWater int
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -92,6 +94,9 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 // Pending returns the number of events currently scheduled.
 func (s *Scheduler) Pending() int { return s.queue.Len() }
 
+// HighWaterPending returns the largest queue depth ever reached.
+func (s *Scheduler) HighWaterPending() int { return s.highWater }
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug, and silently reordering time would
 // corrupt every downstream measurement.
@@ -105,6 +110,9 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	e := &Event{at: t, seq: s.seq, fn: fn, q: &s.queue}
 	s.seq++
 	heap.Push(&s.queue, e)
+	if s.queue.Len() > s.highWater {
+		s.highWater = s.queue.Len()
+	}
 	return e
 }
 

@@ -83,7 +83,11 @@ func (s *Summary) Stddev() float64 {
 	return math.Sqrt(s.m2 / float64(s.n-1))
 }
 
-// Quantile returns the q-th quantile (0..1) from the reservoir.
+// Quantile returns the q-th quantile (0..1) from the reservoir, using
+// nearest-rank rounding. (Flooring the fractional rank — the previous
+// behavior — systematically underestimates upper quantiles on small
+// reservoirs: p99 of ten samples floored to the 9th value, never the
+// max.)
 func (s *Summary) Quantile(q float64) float64 {
 	if len(s.reservoir) == 0 {
 		return math.NaN()
@@ -91,7 +95,13 @@ func (s *Summary) Quantile(q float64) float64 {
 	tmp := make([]float64, len(s.reservoir))
 	copy(tmp, s.reservoir)
 	sort.Float64s(tmp)
-	idx := int(q * float64(len(tmp)-1))
+	idx := int(math.Round(q * float64(len(tmp)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
 	return tmp[idx]
 }
 

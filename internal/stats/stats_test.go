@@ -26,6 +26,29 @@ func TestSummaryBasics(t *testing.T) {
 	}
 }
 
+// TestSummaryQuantileNearestRank is the regression test for the index
+// truncation bug: int(q*(len-1)) floors, so p99 of a small reservoir
+// could never reach the top sample.
+func TestSummaryQuantileNearestRank(t *testing.T) {
+	s := NewSummary(0)
+	for v := 1; v <= 10; v++ {
+		s.Add(float64(v))
+	}
+	if got := s.Quantile(0.99); got != 10 {
+		t.Fatalf("p99 of 1..10 = %v, want 10 (nearest rank)", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+	// round(0.33*9) = 3 -> 4th value.
+	if got := s.Quantile(0.33); got != 4 {
+		t.Fatalf("p33 = %v, want 4", got)
+	}
+}
+
 func TestSummaryMaxAbsNegative(t *testing.T) {
 	s := NewSummary(0)
 	s.Add(-10)

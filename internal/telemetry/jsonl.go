@@ -1,10 +1,14 @@
 package telemetry
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"github.com/dtplab/dtp/internal/sim"
 )
 
 // WriteJSONL dumps the tracer's retained events as JSON Lines, one
@@ -18,8 +22,14 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 	if t == nil {
 		return nil
 	}
+	return WriteEvents(w, t.Events())
+}
+
+// WriteEvents serializes an event slice in the WriteJSONL schema. It is
+// the shared backend of the full dump and the filtered /trace endpoint.
+func WriteEvents(w io.Writer, events []Event) error {
 	var b strings.Builder
-	for _, e := range t.Events() {
+	for _, e := range events {
 		b.Reset()
 		b.WriteString(`{"seq":`)
 		b.WriteString(strconv.FormatUint(e.Seq, 10))
@@ -43,4 +53,49 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 		}
 	}
 	return nil
+}
+
+// jsonlEvent mirrors the WriteJSONL schema for decoding.
+type jsonlEvent struct {
+	Seq    uint64 `json:"seq"`
+	TPs    int64  `json:"t_ps"`
+	Kind   string `json:"kind"`
+	Who    string `json:"who"`
+	V1     int64  `json:"v1"`
+	V2     int64  `json:"v2"`
+	Detail string `json:"detail"`
+}
+
+// ReadJSONL parses a JSONL trace dump (the output of WriteJSONL or the
+// /trace endpoint) back into events. Blank lines are skipped; a line
+// that is not valid JSON or names an unknown kind is an error, so a
+// truncated or foreign file fails loudly rather than analyzing garbage.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal([]byte(text), &je); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		k, ok := KindFromString(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: trace line %d: unknown kind %q", line, je.Kind)
+		}
+		out = append(out, Event{
+			Seq: je.Seq, At: sim.Time(je.TPs), Kind: k,
+			Who: je.Who, V1: je.V1, V2: je.V2, Detail: je.Detail,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: trace read: %w", err)
+	}
+	return out, nil
 }

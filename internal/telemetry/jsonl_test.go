@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetKinds()
+	tr.Record(100, KindSynced, "a[0]", 44, 5, "")
+	tr.Record(200, KindCounterJump, "b[0]", 3, 0, "")
+	tr.Record(300, KindBoundViolation, "a~b", 99, 10, `hops=2 ctx=[beacon_rx a[0]]`)
+
+	var b strings.Builder
+	if err := WriteJSONL(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"seq":1,"t_ps":0,"kind":"martian","who":"x","v1":0,"v2":0}` + "\n")); err == nil {
+		t.Fatal("accepted unknown kind")
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	events, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("blank input produced %d events", len(events))
+	}
+}

@@ -201,6 +201,22 @@ func (g *Gauge) SetMax(v float64) {
 	}
 }
 
+// SetMin lowers the gauge to v if v is smaller (low-water mark).
+func (g *Gauge) SetMin(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"time"
+
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// SchedOptions configures InstrumentScheduler.
+type SchedOptions struct {
+	// Interval is the simulated sampling cadence (default 1 ms).
+	Interval sim.Time
+	// WallRate additionally exports events per wall-clock second. The
+	// rate depends on host speed, so leave it off for runs whose metric
+	// export must be byte-deterministic per seed (dtpsim -metrics-out);
+	// long-lived serving processes (dtpd -listen) turn it on.
+	WallRate bool
+}
+
+// InstrumentScheduler exports the event loop's own throughput through
+// the registry: events processed, current and high-water queue depth, a
+// queue-depth histogram sampled every Interval of simulated time, and
+// (optionally) wall-clock events/sec. The sampler runs as a scheduler
+// event, so all reads happen on the simulation goroutine; concurrent
+// HTTP scrapes only touch the atomic metric values.
+func InstrumentScheduler(reg *Registry, sch *sim.Scheduler, o SchedOptions) {
+	if reg == nil || sch == nil {
+		return
+	}
+	interval := o.Interval
+	if interval <= 0 {
+		interval = sim.Millisecond
+	}
+	processed := reg.Gauge("dtp_sched_events_processed_total",
+		"Scheduler events dispatched since construction.")
+	pending := reg.Gauge("dtp_sched_events_pending",
+		"Scheduler events currently queued.")
+	highWater := reg.Gauge("dtp_sched_events_pending_high_water",
+		"Largest scheduler queue depth ever observed.")
+	depth := reg.Histogram("dtp_sched_queue_depth",
+		"Scheduler queue depth sampled every instrumentation interval.",
+		ExponentialBuckets(1, 2, 16))
+	var rate *Gauge
+	if o.WallRate {
+		rate = reg.Gauge("dtp_sched_events_per_wall_second",
+			"Scheduler events dispatched per wall-clock second (host-dependent).")
+	}
+	var lastProcessed uint64
+	lastWall := time.Now()
+	var sample func()
+	sample = func() {
+		p := sch.Processed()
+		processed.Set(float64(p))
+		pen := sch.Pending()
+		pending.Set(float64(pen))
+		highWater.Set(float64(sch.HighWaterPending()))
+		depth.Observe(float64(pen))
+		if rate != nil {
+			now := time.Now()
+			if el := now.Sub(lastWall).Seconds(); el > 0 {
+				rate.Set(float64(p-lastProcessed) / el)
+			}
+			lastProcessed, lastWall = p, now
+		}
+		sch.After(interval, sample)
+	}
+	sch.After(interval, sample)
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+func TestInstrumentScheduler(t *testing.T) {
+	sch := sim.NewScheduler()
+	reg := New()
+	InstrumentScheduler(reg, sch, SchedOptions{Interval: sim.Millisecond})
+
+	// A self-rescheduling workload plus a burst of queued events, so both
+	// processed and queue-depth metrics have something to show.
+	var ticks int
+	var work func()
+	work = func() {
+		ticks++
+		if ticks < 100 {
+			sch.After(100*sim.Microsecond, work)
+		}
+	}
+	sch.After(0, work)
+	for i := 0; i < 32; i++ {
+		sch.At(5*sim.Millisecond+sim.Time(i), func() {})
+	}
+	sch.Run(20 * sim.Millisecond)
+
+	if g := reg.Gauge("dtp_sched_events_processed_total", ""); uint64(g.Value()) != sch.Processed() {
+		t.Fatalf("processed gauge %v != scheduler %d", g.Value(), sch.Processed())
+	}
+	if g := reg.Gauge("dtp_sched_events_pending_high_water", ""); g.Value() < 32 {
+		t.Fatalf("high water %v, want >= 32 (burst was queued)", g.Value())
+	}
+	if h := reg.Histogram("dtp_sched_queue_depth", "", nil); h.Count() == 0 {
+		t.Fatal("queue depth histogram never sampled")
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"dtp_sched_events_processed_total",
+		"dtp_sched_events_pending",
+		"dtp_sched_events_pending_high_water",
+		"dtp_sched_queue_depth",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+	// Wall-clock rate is opt-in: it must NOT leak into deterministic dumps.
+	if strings.Contains(b.String(), "dtp_sched_events_per_wall_second") {
+		t.Fatal("wall rate exported without WallRate")
+	}
+}
+
+func TestInstrumentSchedulerWallRate(t *testing.T) {
+	sch := sim.NewScheduler()
+	reg := New()
+	InstrumentScheduler(reg, sch, SchedOptions{Interval: sim.Millisecond, WallRate: true})
+	sch.Run(5 * sim.Millisecond)
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dtp_sched_events_per_wall_second") {
+		t.Fatal("WallRate requested but gauge missing")
+	}
+}
+
+func TestInstrumentSchedulerNilSafe(t *testing.T) {
+	InstrumentScheduler(nil, sim.NewScheduler(), SchedOptions{})
+	InstrumentScheduler(New(), nil, SchedOptions{})
+}
+
+func TestGaugeSetMin(t *testing.T) {
+	reg := New()
+	g := reg.Gauge("dtp_test_min", "help")
+	g.Set(10)
+	g.SetMin(3)
+	if g.Value() != 3 {
+		t.Fatalf("SetMin(3) left %v", g.Value())
+	}
+	g.SetMin(7) // larger: no-op
+	if g.Value() != 3 {
+		t.Fatalf("SetMin(7) overwrote smaller value: %v", g.Value())
+	}
+	var nilGauge *Gauge
+	nilGauge.SetMin(1) // must not panic
+}

@@ -50,6 +50,12 @@ const (
 	// KindFrameDrop: the fabric tail-dropped a frame; V1 is the frame
 	// size in bytes, V2 the topology link index.
 	KindFrameDrop
+	// KindBoundViolation: the online auditor (internal/audit) caught a
+	// device pair outside its 4TD precision bound; Who is "a~b", V1 the
+	// observed offset in units, V2 the violated bound, and Detail carries
+	// the hop distance plus the last trace events touching either device
+	// (the causal context).
+	KindBoundViolation
 
 	numKinds
 )
@@ -58,7 +64,7 @@ var kindNames = [numKinds]string{
 	"link_up", "link_down", "state_change", "init_round", "synced",
 	"beacon_tx", "beacon_rx", "beacon_ignored", "counter_jump",
 	"counter_stall", "faulty_peer", "daemon_cal", "servo_update",
-	"clock_step", "master_switch", "frame_drop",
+	"clock_step", "master_switch", "frame_drop", "bound_violation",
 }
 
 // String returns the stable snake_case name used in JSONL dumps.
@@ -67,6 +73,17 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return "unknown"
+}
+
+// KindFromString maps a stable snake_case name (as emitted in JSONL
+// dumps) back to its Kind.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
 }
 
 // Event is one recorded protocol event. Who is the emitting port or

@@ -111,13 +111,35 @@ func (g *Graph) ComponentOf(start int) []int {
 // Hops returns the hop-count distance matrix (BFS over links). Hops[i][j]
 // is the number of links on a shortest path; -1 if unreachable.
 func (g *Graph) Hops() [][]int {
+	hops, _ := g.HopsWith(nil, nil)
+	return hops
+}
+
+// HopsWith returns hop-count distances like Hops, but traverses only
+// links for which active[i] is true (active == nil means every link),
+// and additionally accumulates per-link weights along the BFS shortest
+// path when weights is non-nil. Unreachable pairs have hops -1.
+//
+// The online auditor (internal/audit) uses it to derive each device
+// pair's live 4TD bound: hops over the currently synchronized links,
+// weighted by each link's per-hop error contribution, so the bound
+// tightens and relaxes as links flap and mixed-speed hops are charged
+// their own 4-cycle share.
+func (g *Graph) HopsWith(active []bool, weights []int64) (hops [][]int, wsum [][]int64) {
 	n := len(g.Nodes)
 	adj := g.Adjacency()
-	dist := make([][]int, n)
+	hops = make([][]int, n)
+	if weights != nil {
+		wsum = make([][]int64, n)
+	}
 	for s := 0; s < n; s++ {
 		d := make([]int, n)
 		for i := range d {
 			d[i] = -1
+		}
+		var wrow []int64
+		if weights != nil {
+			wrow = make([]int64, n)
 		}
 		d[s] = 0
 		queue := []int{s}
@@ -125,6 +147,9 @@ func (g *Graph) Hops() [][]int {
 			v := queue[0]
 			queue = queue[1:]
 			for _, li := range adj[v] {
+				if active != nil && !active[li] {
+					continue
+				}
 				l := g.Links[li]
 				next := l.A
 				if next == v {
@@ -132,13 +157,19 @@ func (g *Graph) Hops() [][]int {
 				}
 				if d[next] < 0 {
 					d[next] = d[v] + 1
+					if wrow != nil {
+						wrow[next] = wrow[v] + weights[li]
+					}
 					queue = append(queue, next)
 				}
 			}
 		}
-		dist[s] = d
+		hops[s] = d
+		if wsum != nil {
+			wsum[s] = wrow
+		}
 	}
-	return dist
+	return hops, wsum
 }
 
 // Diameter returns the longest shortest-path hop count between any two

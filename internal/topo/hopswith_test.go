@@ -1,0 +1,67 @@
+package topo
+
+import "testing"
+
+func TestHopsWithAllActiveMatchesHops(t *testing.T) {
+	g := PaperTree()
+	plain := g.Hops()
+	hops, wsum := g.HopsWith(nil, nil)
+	for i := range plain {
+		for j := range plain[i] {
+			if hops[i][j] != plain[i][j] {
+				t.Fatalf("hops[%d][%d] = %d, want %d", i, j, hops[i][j], plain[i][j])
+			}
+		}
+	}
+	if wsum != nil {
+		t.Fatal("nil weights should yield nil weight sums")
+	}
+}
+
+func TestHopsWithInactiveLinkPartitions(t *testing.T) {
+	g := PaperTree()
+	active := make([]bool, len(g.Links))
+	for i := range active {
+		active[i] = true
+	}
+	active[0] = false // cut s0-s1
+	hops, _ := g.HopsWith(active, nil)
+
+	s0, _ := g.ByName("s0")
+	s1, _ := g.ByName("s1")
+	s4, _ := g.ByName("s4")
+	s7, _ := g.ByName("s7")
+	if hops[s0.ID][s1.ID] != -1 || hops[s1.ID][s0.ID] != -1 {
+		t.Fatal("cut link still reachable")
+	}
+	if hops[s1.ID][s4.ID] != 1 {
+		t.Fatalf("intra-partition path broken: %d", hops[s1.ID][s4.ID])
+	}
+	if hops[s4.ID][s7.ID] != -1 {
+		t.Fatal("cross-partition host pair still reachable")
+	}
+	if hops[s0.ID][s7.ID] != 2 {
+		t.Fatalf("surviving path s0-s7 = %d, want 2", hops[s0.ID][s7.ID])
+	}
+}
+
+func TestHopsWithWeightsAccumulate(t *testing.T) {
+	g := Chain(3) // h0 -(0)- sw1 -(1)- sw2 -(2)- h1
+	weights := []int64{10, 100, 1000}
+	hops, wsum := g.HopsWith(nil, weights)
+	if hops[0][3] != 3 {
+		t.Fatalf("chain hops %d, want 3", hops[0][3])
+	}
+	if wsum[0][3] != 1110 {
+		t.Fatalf("end-to-end weight %d, want 1110", wsum[0][3])
+	}
+	if wsum[0][2] != 110 || wsum[1][3] != 1100 {
+		t.Fatalf("partial weights wrong: %d, %d", wsum[0][2], wsum[1][3])
+	}
+	if wsum[2][0] != wsum[0][2] {
+		t.Fatal("weight sums not symmetric")
+	}
+	if wsum[1][1] != 0 {
+		t.Fatal("self weight not zero")
+	}
+}
