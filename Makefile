@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit
+.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos
 
 all: build vet test
 
@@ -37,6 +37,17 @@ bench-save:
 audit:
 	go run ./cmd/dtpsim -topo pair -duration 500ms -load mtu -audit
 	go run ./cmd/dtpsim -topo tree -duration 200ms -audit
+
+# Multi-seed chaos soak: the fault-injection engine's own tests under
+# the race detector, then the canned storm campaign (flap storm + BER
+# burst + crash/restart on a 6-device chain) on several seeds. Each run
+# must show zero bound violations outside the declared fault windows
+# and reconverge within the scenario deadline, or dtpsim exits 1.
+chaos:
+	go test -race -count=1 ./internal/chaos
+	go run ./cmd/dtpsim -topo chain:5 -chaos examples/chaos/storm.json -duration 5ms -watch 1ms -seed 1
+	go run ./cmd/dtpsim -topo chain:5 -chaos examples/chaos/storm.json -duration 5ms -watch 1ms -seed 2
+	go run ./cmd/dtpsim -topo chain:5 -chaos examples/chaos/storm.json -duration 5ms -watch 1ms -seed 3
 
 # Regenerate every table and figure (long; see EXPERIMENTS.md).
 experiments:

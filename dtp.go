@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/dtplab/dtp/internal/audit"
+	"github.com/dtplab/dtp/internal/chaos"
 	"github.com/dtplab/dtp/internal/core"
 	"github.com/dtplab/dtp/internal/daemon"
 	"github.com/dtplab/dtp/internal/phy"
@@ -81,24 +82,35 @@ func ParseTopology(spec string) (Topology, error) {
 			return Topology{}, fmt.Errorf("dtp: bad topology arg %q", arg)
 		}
 	}
+	// Size checks happen here, not in the builders, so a bad CLI spec
+	// becomes an error message instead of a panic stack.
 	switch name {
 	case "pair":
 		return Pair(), nil
 	case "tree":
 		return PaperTree(), nil
 	case "star":
-		if n == 0 {
+		if arg == "" {
 			n = 8
+		}
+		if n < 1 {
+			return Topology{}, fmt.Errorf("dtp: star needs at least 1 client, got %d", n)
 		}
 		return Star(n), nil
 	case "chain":
-		if n == 0 {
+		if arg == "" {
 			n = 4
+		}
+		if n < 1 {
+			return Topology{}, fmt.Errorf("dtp: chain needs at least 1 hop, got %d", n)
 		}
 		return Chain(n), nil
 	case "fattree":
-		if n == 0 {
+		if arg == "" {
 			n = 4
+		}
+		if n < 2 || n%2 != 0 {
+			return Topology{}, fmt.Errorf("dtp: fat-tree arity must be even and >= 2, got %d", n)
 		}
 		return FatTree(n), nil
 	default:
@@ -508,4 +520,57 @@ func (s *System) Devices() []string {
 		out[i] = n.Name
 	}
 	return out
+}
+
+// ChaosScenario is a declarative fault-injection campaign (see
+// internal/chaos): link flaps, BER bursts and degradation, grey
+// failures, oscillator steps and ramps, device crash/restart.
+type ChaosScenario = chaos.Scenario
+
+// ChaosFault is one fault inside a ChaosScenario.
+type ChaosFault = chaos.Fault
+
+// ChaosDuration is a fault timestamp/duration; it marshals to and from
+// Go duration strings in scenario JSON.
+type ChaosDuration = chaos.Duration
+
+// ChaosD converts a wall-style duration into a scenario field value.
+func ChaosD(d time.Duration) ChaosDuration { return chaos.D(sim.FromStd(d)) }
+
+// ChaosEngine compiles a ChaosScenario into scheduler events and
+// verifies the campaign's postconditions.
+type ChaosEngine = chaos.Engine
+
+// LoadChaosScenario reads and validates a scenario JSON file
+// (the format behind dtpsim -chaos).
+func LoadChaosScenario(path string) (*ChaosScenario, error) { return chaos.Load(path) }
+
+// AttachChaos binds a fault-injection scenario to the system: every
+// fault is resolved against the topology and scheduled, chaos metrics
+// and trace events flow into the System's telemetry (when built
+// WithTelemetry), and — when an auditor is supplied — each fault
+// declares its expected-degradation window so Verify can require zero
+// violations outside declared windows. Call before or after Start; run
+// the system past engine.Deadline() and then engine.Verify().
+func (s *System) AttachChaos(sc *ChaosScenario, aud *Auditor) (*ChaosEngine, error) {
+	eng, err := chaos.NewEngine(s.net, sc, s.cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	eng.Instrument(s.cfg.reg, s.cfg.tracer)
+	if aud != nil {
+		eng.BindAuditor(aud)
+	}
+	if err := eng.Schedule(); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// RunUntil advances simulated time to the given absolute simulated
+// instant (no-op if already past), e.g. a ChaosEngine deadline.
+func (s *System) RunUntil(t sim.Time) {
+	if t > s.sch.Now() {
+		s.sch.Run(t)
+	}
 }

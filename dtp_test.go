@@ -1,6 +1,7 @@
 package dtp
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -306,5 +307,75 @@ func TestWithCoreConfigValidation(t *testing.T) {
 	bad := Option(func(c *config) { c.cfg.BeaconIntervalTicks = 0 })
 	if _, err := New(Pair(), bad); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestParseTopologyValidation: CLI topology specs with bad sizes come
+// back as errors, never as builder panics.
+func TestParseTopologyValidation(t *testing.T) {
+	good := []string{"pair", "tree", "star", "star:3", "chain", "chain:6", "fattree", "fattree:6"}
+	for _, spec := range good {
+		if _, err := ParseTopology(spec); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+	bad := []string{"chain:0", "chain:-1", "star:0", "star:-2", "fattree:3",
+		"fattree:0", "fattree:-4", "ring", "chain:x"}
+	for _, spec := range bad {
+		if _, err := ParseTopology(spec); err == nil {
+			t.Errorf("%s: accepted, want error", spec)
+		}
+	}
+}
+
+// TestChaosOnFacade: the storm campaign runs through the public API —
+// scenario from JSON, AttachChaos with an auditor, Verify past the
+// deadline — and the chaos metrics appear in the registry export.
+func TestChaosOnFacade(t *testing.T) {
+	sc, err := LoadChaosScenario("examples/chaos/storm.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	tr := NewTracer(1 << 16)
+	topo, err := ParseTopology("chain:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(topo, WithSeed(5), WithTelemetry(reg, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := sys.EnableAudit(0)
+	eng, err := sys.AttachChaos(sc, aud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.RunUntil(eng.Deadline())
+	if err := eng.Verify(); err != nil {
+		t.Fatalf("%v\n  %s\n  %s", err, eng.Summary(), aud.Summary())
+	}
+	var b strings.Builder
+	if err := WriteMetrics(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dtp_chaos_faults_injected_total{kind="crash"} 1`,
+		`dtp_chaos_faults_cleared_total{kind="flap"} 1`,
+		"dtp_chaos_active_faults 0",
+		"dtp_device_crashes_total 1",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics export missing %q", want)
+		}
+	}
+
+	// A scenario naming a device outside this topology fails AttachChaos.
+	badSc := &ChaosScenario{Name: "bad", Faults: []ChaosFault{
+		{Kind: "crash", Device: "nosuch", Duration: ChaosD(time.Millisecond)},
+	}}
+	if _, err := sys.AttachChaos(badSc, nil); err == nil {
+		t.Fatal("AttachChaos accepted an unknown device")
 	}
 }

@@ -125,6 +125,12 @@ type Auditor struct {
 	timeToSync    sim.Time
 	reconv        []sim.Time
 
+	// windows holds the declared expected-degradation intervals
+	// (fault-injection campaigns): violations inside any window are
+	// counted separately as excused and do not fail the audit.
+	windows []degradeWindow
+	excused uint64
+
 	checks     uint64
 	pairChecks uint64
 	violations uint64
@@ -137,6 +143,7 @@ type Auditor struct {
 	mChecks    *telemetry.Counter
 	mPairs     *telemetry.Counter
 	mViol      *telemetry.Counter
+	mExcused   *telemetry.Counter
 	mWorst     *telemetry.Gauge
 	mSlack     *telemetry.Gauge
 	mTTS       *telemetry.Gauge
@@ -188,6 +195,8 @@ func (a *Auditor) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		"Device pairs checked against their live 4TD bound.")
 	a.mViol = reg.Counter("dtp_audit_violations_total",
 		"Pairs observed outside their 4TD precision bound.")
+	a.mExcused = reg.Counter("dtp_audit_violations_excused_total",
+		"Bound breaches inside a declared expected-degradation window (fault injection).")
 	a.mWorst = reg.Gauge("dtp_audit_worst_offset_units",
 		"Largest |pairwise offset| the auditor has observed, in counter units.")
 	a.mSlack = reg.Gauge("dtp_audit_min_slack_units",
@@ -234,6 +243,41 @@ func (a *Auditor) Stop() {
 	}
 }
 
+// degradeWindow is one declared interval during which bound breaches
+// are expected (an injected fault is active, plus settle grace).
+type degradeWindow struct {
+	from, until sim.Time
+	reason      string
+}
+
+// ExpectDegradation declares [from, until] as an expected-degradation
+// window: a fault injector announces that the bound may legitimately
+// not hold while its fault (plus settling time) is in effect. Breaches
+// inside any declared window are tallied as excused instead of
+// violations, so a chaos campaign can still assert zero *unexpected*
+// violations. Windows are pruned once they expire.
+func (a *Auditor) ExpectDegradation(from, until sim.Time, reason string) {
+	a.windows = append(a.windows, degradeWindow{from: from, until: until, reason: reason})
+}
+
+// excusedAt reports whether t falls inside a declared window, pruning
+// windows that ended before t (checks run in time order).
+func (a *Auditor) excusedAt(t sim.Time) bool {
+	live := a.windows[:0]
+	for _, w := range a.windows {
+		if w.until >= t {
+			live = append(live, w)
+		}
+	}
+	a.windows = live
+	for _, w := range a.windows {
+		if w.from <= t && t <= w.until {
+			return true
+		}
+	}
+	return false
+}
+
 // noteDisruption marks the start of a not-converged spell.
 func (a *Auditor) noteDisruption(now sim.Time) {
 	if a.converged {
@@ -274,6 +318,7 @@ func (a *Auditor) check() {
 	}
 	clean := true
 	connected := true
+	excused := a.excusedAt(now)
 	var pairs uint64
 	var eventsLeft = a.cfg.MaxViolationEvents
 	for x, i := range a.nodes {
@@ -307,9 +352,14 @@ func (a *Auditor) check() {
 			}
 			if abs > bound {
 				clean = false
-				a.recordViolation(now, i, j, d, off, bound, eventsLeft > 0)
-				if eventsLeft > 0 {
-					eventsLeft--
+				if excused {
+					a.excused++
+					a.mExcused.Inc()
+				} else {
+					a.recordViolation(now, i, j, d, off, bound, eventsLeft > 0)
+					if eventsLeft > 0 {
+						eventsLeft--
+					}
 				}
 			}
 		}
@@ -421,8 +471,13 @@ func (a *Auditor) Checks() uint64 { return a.checks }
 // PairChecks returns how many pair-bound comparisons ran.
 func (a *Auditor) PairChecks() uint64 { return a.pairChecks }
 
-// Violations returns how many pair checks breached their bound.
+// Violations returns how many pair checks breached their bound outside
+// any declared expected-degradation window.
 func (a *Auditor) Violations() uint64 { return a.violations }
+
+// ExcusedViolations returns how many breaches fell inside declared
+// expected-degradation windows.
+func (a *Auditor) ExcusedViolations() uint64 { return a.excused }
 
 // WorstOffsetUnits returns the largest |offset| observed, in units.
 func (a *Auditor) WorstOffsetUnits() int64 { return a.worst }
@@ -465,6 +520,10 @@ func (a *Auditor) Summary() string {
 	if a.minSlack != math.MaxInt64 {
 		slack = fmt.Sprintf(" min-slack %d", a.minSlack)
 	}
-	return fmt.Sprintf("audit: %d checks, %d pair checks, %d violations, worst |offset| %d units%s, first sync %s, %d reconvergences",
-		a.checks, a.pairChecks, a.violations, a.worst, slack, tts, len(a.reconv))
+	excused := ""
+	if a.excused > 0 {
+		excused = fmt.Sprintf(" (+%d excused)", a.excused)
+	}
+	return fmt.Sprintf("audit: %d checks, %d pair checks, %d violations%s, worst |offset| %d units%s, first sync %s, %d reconvergences",
+		a.checks, a.pairChecks, a.violations, excused, a.worst, slack, tts, len(a.reconv))
 }

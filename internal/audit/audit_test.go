@@ -219,3 +219,48 @@ func abs(v int64) int64 {
 	}
 	return v
 }
+
+// TestExpectDegradationExcusesWindows: breaches inside a declared
+// expected-degradation window count as excused, breaches outside it
+// still count as violations, and both surface in metrics and Summary.
+func TestExpectDegradationExcusesWindows(t *testing.T) {
+	n, a, reg, _ := newAudited(t, topo.Pair(), 2, DefaultConfig(), brokenConfig(),
+		core.WithPPM(map[string]float64{"h0": 100, "h1": -100}))
+	// The broken cadence desynchronizes the pair permanently; excuse
+	// only the first stretch of the run.
+	a.ExpectDegradation(0, 10*sim.Millisecond, "test fault")
+	n.Sch.Run(25 * sim.Millisecond)
+
+	if a.ExcusedViolations() == 0 {
+		t.Fatalf("no excused breaches inside the window: %s", a.Summary())
+	}
+	if a.Violations() == 0 {
+		t.Fatalf("no violations after the window expired: %s", a.Summary())
+	}
+	if !strings.Contains(a.Summary(), "excused") {
+		t.Fatalf("Summary hides excused breaches: %s", a.Summary())
+	}
+	var b strings.Builder
+	if err := telemetry.WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dtp_audit_violations_excused_total") {
+		t.Fatal("excused metric not exported")
+	}
+}
+
+// TestExpectDegradationFullCover: a window covering the whole run means
+// zero unexcused violations — the invariant chaos campaigns assert.
+func TestExpectDegradationFullCover(t *testing.T) {
+	n, a, _, _ := newAudited(t, topo.Pair(), 2, DefaultConfig(), brokenConfig(),
+		core.WithPPM(map[string]float64{"h0": 100, "h1": -100}))
+	a.ExpectDegradation(0, sim.Time(1)*sim.Second, "covers everything")
+	n.Sch.Run(20 * sim.Millisecond)
+
+	if a.ExcusedViolations() == 0 {
+		t.Fatalf("broken network produced no breaches at all: %s", a.Summary())
+	}
+	if v := a.Violations(); v != 0 {
+		t.Fatalf("%d unexcused violations inside a full-cover window: %s", v, a.Summary())
+	}
+}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dtplab/dtp/internal/audit"
+	"github.com/dtplab/dtp/internal/core"
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/telemetry"
+	"github.com/dtplab/dtp/internal/topo"
+)
+
+// stormScenario is the canned campaign from the repo's acceptance bar:
+// a flap storm, a BER burst, and one crash/restart on a six-device
+// chain (h0-sw1-sw2-sw3-sw4-h1).
+func stormScenario() *Scenario {
+	return &Scenario{
+		Name:               "storm",
+		SettleGrace:        D(600 * sim.Microsecond),
+		ReconvergeDeadline: D(8 * sim.Millisecond),
+		Faults: []Fault{
+			{Kind: KindFlap, Link: []string{"sw1", "sw2"}, At: D(2 * sim.Millisecond),
+				Duration: D(sim.Millisecond), MeanUp: D(200 * sim.Microsecond), MeanDown: D(100 * sim.Microsecond)},
+			{Kind: KindBERBurst, Link: []string{"sw3", "sw4"}, At: D(2500 * sim.Microsecond),
+				Duration: D(sim.Millisecond), BER: 1e-4},
+			{Kind: KindCrash, Device: "sw2", At: D(4 * sim.Millisecond),
+				Duration: D(500 * sim.Microsecond)},
+		},
+	}
+}
+
+// campaign holds one fully wired run: network, auditor, engine,
+// telemetry.
+type campaign struct {
+	sch *sim.Scheduler
+	net *core.Network
+	aud *audit.Auditor
+	eng *Engine
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+}
+
+func newCampaign(t *testing.T, g topo.Graph, cfg core.Config, seed uint64, sc *Scenario) *campaign {
+	t.Helper()
+	sch := sim.NewScheduler()
+	net, err := core.NewNetwork(sch, seed, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	tr := telemetry.NewTracer(1 << 16)
+	net.Instrument(reg, tr)
+	aud := audit.New(net, audit.DefaultConfig())
+	aud.Instrument(reg, tr)
+	aud.Start()
+	eng, err := NewEngine(net, sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Instrument(reg, tr)
+	eng.BindAuditor(aud)
+	if err := eng.Schedule(); err != nil {
+		t.Fatal(err)
+	}
+	return &campaign{sch: sch, net: net, aud: aud, eng: eng, reg: reg, tr: tr}
+}
+
+// run starts the network and drives the scheduler to the campaign
+// deadline.
+func (c *campaign) run() {
+	c.net.Start()
+	c.sch.Run(c.eng.Deadline())
+}
+
+// TestStormCampaignReconverges: the canned flap+BER+crash campaign
+// passes Verify on several seeds — zero bound violations outside the
+// declared degradation windows, full resynchronization, and an
+// in-bound network by the scenario deadline.
+func TestStormCampaignReconverges(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		c := newCampaign(t, topo.Chain(5), core.DefaultConfig(), seed, stormScenario())
+		c.run()
+		if err := c.eng.Verify(); err != nil {
+			t.Errorf("seed %d: %v\n  %s\n  %s", seed, err, c.eng.Summary(), c.aud.Summary())
+			continue
+		}
+		if got := c.tr.CountKind(telemetry.KindChaosInject); got != 3 {
+			t.Errorf("seed %d: %d chaos_inject events, want 3", seed, got)
+		}
+		if got := c.tr.CountKind(telemetry.KindChaosClear); got != 3 {
+			t.Errorf("seed %d: %d chaos_clear events, want 3", seed, got)
+		}
+		if c.tr.CountKind(telemetry.KindDeviceCrash) != 1 ||
+			c.tr.CountKind(telemetry.KindDeviceRestart) != 1 {
+			t.Errorf("seed %d: missing crash/restart trace events", seed)
+		}
+		// The crash partitions the chain; the restarted device rejoins
+		// through INIT, so the run must observe fresh synced events after
+		// the restart.
+		if c.aud.TimeToSync() < 0 {
+			t.Errorf("seed %d: network never converged", seed)
+		}
+	}
+}
+
+// TestCampaignDeterminism: the same scenario on the same seed produces
+// byte-identical metrics and trace exports — the engine consumes only
+// its own labeled RNG streams and perturbs nothing else.
+func TestCampaignDeterminism(t *testing.T) {
+	exports := func() (string, string) {
+		c := newCampaign(t, topo.Chain(5), core.DefaultConfig(), 7, stormScenario())
+		c.run()
+		var m, tr bytes.Buffer
+		if err := telemetry.WritePrometheus(&m, c.reg); err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.WriteJSONL(&tr, c.tr); err != nil {
+			t.Fatal(err)
+		}
+		return m.String(), tr.String()
+	}
+	m1, t1 := exports()
+	m2, t2 := exports()
+	if m1 != m2 {
+		t.Error("metrics exports differ between identical runs")
+	}
+	if t1 != t2 {
+		t.Error("trace exports differ between identical runs")
+	}
+	if !strings.Contains(m1, "dtp_chaos_faults_injected_total") {
+		t.Error("chaos metrics missing from export")
+	}
+}
+
+// TestKitchenSinkFaults drives every remaining fault kind — grey loss,
+// grey delay ramp, frequency step, temperature ramp, permanent BER
+// degradation — on a short chain with the faulty-peer cooldown enabled,
+// and requires full recovery.
+func TestKitchenSinkFaults(t *testing.T) {
+	sc := &Scenario{
+		Name:               "kitchen-sink",
+		SettleGrace:        D(1500 * sim.Microsecond), // covers the faulty-peer cooldown + re-INIT
+		ReconvergeDeadline: D(8 * sim.Millisecond),
+		Faults: []Fault{
+			{Kind: KindGreyLoss, Link: []string{"h0", "sw1"}, At: D(2 * sim.Millisecond),
+				Duration: D(500 * sim.Microsecond), LossP: 0.5},
+			{Kind: KindGreyDelay, Link: []string{"sw1", "h1"}, At: D(2 * sim.Millisecond),
+				Duration: D(sim.Millisecond), ExtraDelay: D(50 * sim.Nanosecond), Steps: 5},
+			{Kind: KindFreqStep, Device: "h0", At: D(3500 * sim.Microsecond),
+				Duration: D(sim.Millisecond), PPMStep: 150}, // clamped to the oscillator's ±max
+			{Kind: KindTempRamp, Device: "sw1", At: D(3500 * sim.Microsecond),
+				Duration: D(sim.Millisecond), PPMStep: -60},
+			{Kind: KindBERDegrade, Link: []string{"h0", "sw1"}, At: D(5 * sim.Millisecond), BER: 1e-9},
+		},
+	}
+	cfg := core.DefaultConfig()
+	cfg.FaultyCooldownTicks = 100_000 // ≈640 µs: let ports marked faulty under grey delay recover
+	c := newCampaign(t, topo.Chain(2), cfg, 11, sc)
+	c.run()
+	if err := c.eng.Verify(); err != nil {
+		t.Fatalf("%v\n  %s\n  %s", err, c.eng.Summary(), c.aud.Summary())
+	}
+	if got := c.tr.CountKind(telemetry.KindChaosInject); got != 5 {
+		t.Errorf("%d chaos_inject events, want 5", got)
+	}
+	// The BER degradation is permanent: injected, never cleared.
+	if got := c.tr.CountKind(telemetry.KindChaosClear); got != 4 {
+		t.Errorf("%d chaos_clear events, want 4", got)
+	}
+	ab, ba := c.net.LinkWires(0)
+	if ab.BER() != 1e-9 || ba.BER() != 1e-9 {
+		t.Errorf("permanent BER degradation not in effect: %g / %g", ab.BER(), ba.BER())
+	}
+	// The frequency step and the grey delay must have been restored.
+	h0, _ := c.net.DeviceByName("h0")
+	if ppm := h0.Clock().PPM(); ppm > h0.Clock().MaxPPM() {
+		t.Errorf("frequency step not restored: %v ppm", ppm)
+	}
+}
+
+// TestScheduleRejectsUnknownTargets: bad device or cable names fail
+// atomically at Schedule, before any event is planted.
+func TestScheduleRejectsUnknownTargets(t *testing.T) {
+	cases := []Fault{
+		{Kind: KindCrash, Device: "nosuch", At: D(1), Duration: D(1)},
+		{Kind: KindFlap, Link: []string{"h0", "h1"}, At: D(1), Duration: D(1),
+			MeanUp: D(1), MeanDown: D(1)}, // both exist but are not adjacent on a chain
+		{Kind: KindBERBurst, Link: []string{"h0", "ghost"}, At: D(1), Duration: D(1), BER: 1e-4},
+	}
+	for i, f := range cases {
+		sch := sim.NewScheduler()
+		net, err := core.NewNetwork(sch, 1, topo.Chain(2), core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(net, &Scenario{Name: "bad", Faults: []Fault{f}}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Schedule(); err == nil {
+			t.Errorf("case %d: Schedule accepted unknown target", i)
+		}
+	}
+}
+
+// TestVerifyBeforeDeadline: Verify refuses to pass judgment on a run
+// that stopped short of the scenario deadline.
+func TestVerifyBeforeDeadline(t *testing.T) {
+	c := newCampaign(t, topo.Chain(5), core.DefaultConfig(), 1, stormScenario())
+	c.net.Start()
+	c.sch.Run(sim.Millisecond) // well before the deadline
+	err := c.eng.Verify()
+	if err == nil || !strings.Contains(err.Error(), "before") {
+		t.Fatalf("Verify at 1ms: %v, want deadline error", err)
+	}
+}

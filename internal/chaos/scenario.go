@@ -1,0 +1,303 @@
+// Package chaos is a deterministic fault-injection engine for DTP
+// networks. A declarative Scenario — built in Go or loaded from JSON
+// (dtpsim -chaos scenario.json) — compiles into ordinary scheduler
+// events that degrade a live simulation: link flaps with Markov up/down
+// holding times, BER bursts and permanent BER degradation, grey
+// failures (one-direction block loss, growing delay asymmetry),
+// oscillator frequency steps and temperature ramps, and full device
+// crash/restart cycles.
+//
+// Everything is reproducible: each fault owns an RNG stream derived
+// from the run seed and the fault's index, so the same scenario on the
+// same seed produces byte-identical traces, and editing one fault never
+// perturbs the randomness of another.
+//
+// The engine closes the loop with internal/audit: every injected fault
+// registers an expected-degradation window with the auditor, so a chaos
+// campaign can assert the strong property "zero bound violations except
+// where a declared fault was active" and, after the last fault clears,
+// that the network reconverged within the scenario's deadline.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+// Duration is a sim.Time that marshals to/from Go duration strings
+// ("150us", "2ms") so scenario JSON stays human-readable.
+type Duration struct {
+	T sim.Time
+}
+
+// D wraps a sim.Time for scenario literals built in Go.
+func D(t sim.Time) Duration { return Duration{T: t} }
+
+// MarshalJSON renders the duration as a Go duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.T.Std().String())
+}
+
+// UnmarshalJSON accepts a Go duration string or a bare number of
+// nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		sd, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("chaos: bad duration %q: %w", s, err)
+		}
+		if sd < 0 {
+			return fmt.Errorf("chaos: negative duration %q", s)
+		}
+		d.T = sim.FromStd(sd)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("chaos: duration must be a string like \"150us\" or nanoseconds: %s", b)
+	}
+	if ns < 0 {
+		return fmt.Errorf("chaos: negative duration %d", ns)
+	}
+	d.T = sim.Time(ns) * sim.Nanosecond
+	return nil
+}
+
+// Fault kinds.
+const (
+	// KindFlap bounces a link up and down with exponentially
+	// distributed holding times (MeanUp / MeanDown) for Duration, then
+	// leaves it up.
+	KindFlap = "flap"
+	// KindBERBurst raises both directions of a link to BER for
+	// Duration, then restores the original rates.
+	KindBERBurst = "ber_burst"
+	// KindBERDegrade permanently degrades both directions to BER
+	// (Duration is ignored; the fault never clears).
+	KindBERDegrade = "ber_degrade"
+	// KindGreyLoss silently drops LossP of blocks in one direction
+	// (Link[0] -> Link[1]) for Duration — the link stays "up".
+	KindGreyLoss = "grey_loss"
+	// KindGreyDelay linearly grows one direction's propagation delay by
+	// ExtraDelay over Duration (in Steps increments), then restores it:
+	// a growing delay asymmetry the INIT measurement never sees.
+	KindGreyDelay = "grey_delay"
+	// KindFreqStep steps a device oscillator by PPMStep (clamped to the
+	// clock's ±MaxPPM) for Duration, then restores the original offset.
+	// Duration 0 makes the step permanent.
+	KindFreqStep = "freq_step"
+	// KindTempRamp ramps a device oscillator by PPMStep over Duration
+	// in Steps increments (temperature drift), then snaps back.
+	KindTempRamp = "temp_ramp"
+	// KindCrash power-cycles a device: at At every port (and its peer
+	// port — the PHY loses signal) goes down and all protocol state and
+	// counter content is lost; after Duration the device restarts from
+	// counter zero and rejoins through INIT and BEACON-JOIN.
+	KindCrash = "crash"
+)
+
+// Fault is one declarative fault. Link faults name the two adjacent
+// devices of the cable; device faults name the device.
+type Fault struct {
+	Kind string `json:"kind"`
+
+	// Link identifies a cable by its two adjacent device names. For
+	// directional faults (grey_loss, grey_delay) the impaired direction
+	// is Link[0] -> Link[1].
+	Link []string `json:"link,omitempty"`
+	// Device identifies a device (freq_step, temp_ramp, crash).
+	Device string `json:"device,omitempty"`
+
+	// At is when the fault starts; Duration how long it lasts (0 =
+	// permanent, where the kind allows it).
+	At       Duration `json:"at"`
+	Duration Duration `json:"duration,omitempty"`
+
+	// MeanUp / MeanDown are the Markov holding-time means for flap.
+	MeanUp   Duration `json:"mean_up,omitempty"`
+	MeanDown Duration `json:"mean_down,omitempty"`
+
+	// BER is the injected bit error rate (ber_burst, ber_degrade).
+	BER float64 `json:"ber,omitempty"`
+	// LossP is the injected block-loss probability (grey_loss).
+	LossP float64 `json:"loss_p,omitempty"`
+	// ExtraDelay is the added one-way delay at full ramp (grey_delay).
+	ExtraDelay Duration `json:"extra_delay,omitempty"`
+	// PPMStep is the frequency change in ppm (freq_step, temp_ramp).
+	PPMStep float64 `json:"ppm_step,omitempty"`
+	// Steps is the ramp granularity for grey_delay / temp_ramp
+	// (default 10).
+	Steps int `json:"steps,omitempty"`
+}
+
+// permanent reports whether the fault never clears.
+func (f *Fault) permanent() bool {
+	return f.Kind == KindBERDegrade || (f.Kind == KindFreqStep && f.Duration.T == 0)
+}
+
+// target names what the fault hits, for traces and error messages.
+func (f *Fault) target() string {
+	if len(f.Link) == 2 {
+		return f.Link[0] + "-" + f.Link[1]
+	}
+	return f.Device
+}
+
+// Scenario is a full fault-injection campaign.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// SettleGrace extends every fault's expected-degradation window
+	// past its clearing time: the protocol needs a re-INIT and a JOIN
+	// round to pull a disturbed subnet back in bound (default 500 µs).
+	SettleGrace Duration `json:"settle_grace,omitempty"`
+
+	// ReconvergeDeadline is how long after the last fault clears (plus
+	// SettleGrace) the network must be fully synchronized and in bound
+	// again for Verify to pass (default 10 ms).
+	ReconvergeDeadline Duration `json:"reconverge_deadline,omitempty"`
+
+	Faults []Fault `json:"faults"`
+}
+
+// Load reads and validates a scenario from a JSON file.
+func Load(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	var sc Scenario
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return nil, fmt.Errorf("chaos: %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// fillDefaults applies scenario-level defaults.
+func (sc *Scenario) fillDefaults() {
+	if sc.SettleGrace.T == 0 {
+		sc.SettleGrace = D(500 * sim.Microsecond)
+	}
+	if sc.ReconvergeDeadline.T == 0 {
+		sc.ReconvergeDeadline = D(10 * sim.Millisecond)
+	}
+}
+
+// Validate checks every fault for structural errors (unknown kinds,
+// missing targets, out-of-range probabilities) without touching a
+// network; target names are resolved later by Engine.Schedule.
+func (sc *Scenario) Validate() error {
+	if len(sc.Faults) == 0 {
+		return fmt.Errorf("scenario %q has no faults", sc.Name)
+	}
+	for i := range sc.Faults {
+		if err := sc.Faults[i].validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (f *Fault) validate() error {
+	needLink := func() error {
+		if len(f.Link) != 2 || f.Link[0] == "" || f.Link[1] == "" {
+			return fmt.Errorf("%s requires \"link\": [a, b]", f.Kind)
+		}
+		return nil
+	}
+	needDevice := func() error {
+		if f.Device == "" {
+			return fmt.Errorf("%s requires \"device\"", f.Kind)
+		}
+		return nil
+	}
+	needDuration := func() error {
+		if f.Duration.T <= 0 {
+			return fmt.Errorf("%s requires a positive \"duration\"", f.Kind)
+		}
+		return nil
+	}
+	switch f.Kind {
+	case KindFlap:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if err := needDuration(); err != nil {
+			return err
+		}
+		if f.MeanUp.T <= 0 || f.MeanDown.T <= 0 {
+			return fmt.Errorf("flap requires positive mean_up and mean_down")
+		}
+	case KindBERBurst, KindBERDegrade:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if f.BER <= 0 || f.BER >= 1 {
+			return fmt.Errorf("%s requires \"ber\" in (0, 1)", f.Kind)
+		}
+		if f.Kind == KindBERBurst {
+			if err := needDuration(); err != nil {
+				return err
+			}
+		}
+	case KindGreyLoss:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if err := needDuration(); err != nil {
+			return err
+		}
+		if f.LossP <= 0 || f.LossP > 1 {
+			return fmt.Errorf("grey_loss requires \"loss_p\" in (0, 1]")
+		}
+	case KindGreyDelay:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if err := needDuration(); err != nil {
+			return err
+		}
+		if f.ExtraDelay.T <= 0 {
+			return fmt.Errorf("grey_delay requires a positive \"extra_delay\"")
+		}
+	case KindFreqStep:
+		if err := needDevice(); err != nil {
+			return err
+		}
+		if f.PPMStep == 0 {
+			return fmt.Errorf("freq_step requires a nonzero \"ppm_step\"")
+		}
+	case KindTempRamp:
+		if err := needDevice(); err != nil {
+			return err
+		}
+		if err := needDuration(); err != nil {
+			return err
+		}
+		if f.PPMStep == 0 {
+			return fmt.Errorf("temp_ramp requires a nonzero \"ppm_step\"")
+		}
+	case KindCrash:
+		if err := needDevice(); err != nil {
+			return err
+		}
+		if err := needDuration(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %q", f.Kind)
+	}
+	if f.Steps < 0 {
+		return fmt.Errorf("%s: negative steps", f.Kind)
+	}
+	return nil
+}

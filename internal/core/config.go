@@ -103,6 +103,22 @@ type Config struct {
 	FaultyJumpLimit   int
 	FaultyWindowTicks uint64
 
+	// BeaconTimeoutIntervals is the beacon-loss watchdog: a SYNCED port
+	// that hears nothing from its peer for this many beacon intervals
+	// demotes itself back to INIT and re-measures the delay, instead of
+	// free-running forever against a silently dead peer (a grey failure
+	// an explicit link-down never reports). 0 disables the watchdog.
+	BeaconTimeoutIntervals int
+
+	// FaultyCooldownTicks, when nonzero, lets a port that declared its
+	// peer faulty retry after this many local ticks: the port demotes to
+	// INIT, clearing the faulty mark, and re-runs the delay measurement.
+	// The paper leaves faulty ports down for human repair (the default,
+	// 0); chaos campaigns enable the cooldown so a transient BER storm
+	// does not permanently amputate a link. Requires the beacon-loss
+	// watchdog (BeaconTimeoutIntervals > 0) to be active.
+	FaultyCooldownTicks uint64
+
 	// MaxTreeLatencyTicks models the depth of the max-computation tree
 	// inside a multi-port device (§4.3): a port's received counter takes
 	// this many ticks to reach the global counter. 0 = instantaneous.
@@ -140,23 +156,24 @@ type Config struct {
 // 10 GbE, beacon every 200 ticks, α = 3, eight-tick guard.
 func DefaultConfig() Config {
 	return Config{
-		Profile:             phy.ProfileFor(phy.Speed10G),
-		UnitsPerTick:        1,
-		BeaconIntervalTicks: 200,
-		AlphaUnits:          3,
-		GuardUnits:          8,
-		Parity:              false,
-		TxPipelineTicks:     phy.DefaultTxPipelineTicks,
-		RxPipelineTicks:     phy.DefaultRxPipelineTicks,
-		AckTurnaroundTicks:  3,
-		CDCMaxExtraTicks:    1,
-		CDCSetupFraction:    0.15,
-		CDCJitterFs:         200_000, // 200 ps metastability band
-		MsbEveryBeacons:     100_000,
-		FaultyJumpLimit:     16,
-		FaultyWindowTicks:   1_000_000,
-		PPMRange:            100,
-		JoinDelayTicks:      2_000,
+		Profile:                phy.ProfileFor(phy.Speed10G),
+		UnitsPerTick:           1,
+		BeaconIntervalTicks:    200,
+		AlphaUnits:             3,
+		GuardUnits:             8,
+		Parity:                 false,
+		TxPipelineTicks:        phy.DefaultTxPipelineTicks,
+		RxPipelineTicks:        phy.DefaultRxPipelineTicks,
+		AckTurnaroundTicks:     3,
+		CDCMaxExtraTicks:       1,
+		CDCSetupFraction:       0.15,
+		CDCJitterFs:            200_000, // 200 ps metastability band
+		MsbEveryBeacons:        100_000,
+		FaultyJumpLimit:        16,
+		FaultyWindowTicks:      1_000_000,
+		BeaconTimeoutIntervals: 50,
+		PPMRange:               100,
+		JoinDelayTicks:         2_000,
 	}
 }
 
@@ -175,6 +192,12 @@ func (c *Config) validate() error {
 	}
 	if c.CDCMaxExtraTicks < 0 {
 		return fmt.Errorf("core: negative CDC bound")
+	}
+	if c.BeaconTimeoutIntervals < 0 {
+		return fmt.Errorf("core: negative beacon timeout")
+	}
+	if c.BER < 0 || c.BER >= 1 {
+		return fmt.Errorf("core: BER %v outside [0, 1)", c.BER)
 	}
 	if c.FollowMaster && c.Master == "" {
 		return fmt.Errorf("core: FollowMaster requires a Master name")

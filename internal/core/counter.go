@@ -76,6 +76,17 @@ func (u *unitCounter) stallBy(excess uint64, t simTime) {
 	u.capVal = v
 }
 
+// resetAt models power loss: the counter restarts from zero at time t,
+// forgetting its base and any stall state. This is the one legitimate
+// backward movement — a crashed device rejoins through INIT and JOIN,
+// not by remembering where it was.
+func (u *unitCounter) resetAt(t simTime) {
+	u.base = 0
+	u.refTick = u.clk.CounterAt(t)
+	u.capped = false
+	u.capVal = 0
+}
+
 // timeOfValue returns the earliest time the counter reaches at least v.
 func (u *unitCounter) timeOfValue(v uint64) simTime {
 	if v <= u.base {
@@ -94,23 +105,26 @@ func reconstructNear(local, lsb uint64, bits uint) uint64 {
 	mod := uint64(1) << bits
 	mask := mod - 1
 	base := local&^mask | lsb&mask
-	// Of base-mod, base, base+mod choose the closest to local.
+	// Of base-mod, base, base+mod choose the closest to local. Distances
+	// use wrapping subtraction interpreted as signed, so the choice stays
+	// correct when local sits near the 2^64 wrap and the candidates
+	// straddle zero; valid because any real distance is < 2^bits ≪ 2^63.
 	best := base
-	bestDist := absDiff(base, local)
-	if base >= mod {
-		if d := absDiff(base-mod, local); d < bestDist {
-			best, bestDist = base-mod, d
-		}
+	bestDist := absSigned(base - local)
+	if d := absSigned(base - mod - local); d < bestDist {
+		best, bestDist = base-mod, d
 	}
-	if d := absDiff(base+mod, local); d < bestDist {
+	if d := absSigned(base + mod - local); d < bestDist {
 		best = base + mod
 	}
 	return best
 }
 
-func absDiff(a, b uint64) uint64 {
-	if a > b {
-		return a - b
+// absSigned reinterprets a wrapping uint64 difference as signed and
+// returns its magnitude.
+func absSigned(d uint64) uint64 {
+	if s := int64(d); s < 0 {
+		return uint64(-s)
 	}
-	return b - a
+	return d
 }

@@ -106,6 +106,64 @@ func TestReconstructNearProperty(t *testing.T) {
 	}
 }
 
+// TestReconstructNearUint64Wrap: the beacon LSB reconstruction is
+// circular modulo 2^64 — a local counter sitting just below the 64-bit
+// wrap must recover peer values on the far side (which read as tiny
+// uint64s), and vice versa.
+func TestReconstructNearUint64Wrap(t *testing.T) {
+	const bits = 53
+	max := ^uint64(0)
+	cases := []struct {
+		local, truth uint64
+	}{
+		// Peer a few units ahead, across the wrap.
+		{max - 2, max + 4}, // max+4 wraps to 3
+		{max - 2, 1},
+		// Peer a few units behind, local already wrapped.
+		{3, max - 1},
+		{0, max - 5},
+		// Exactly at the boundary.
+		{max, 0},
+		{0, max},
+		// Far from the wrap but crossing an MSB rollover of the LSB field.
+		{1<<60 + 1<<bits - 2, 1<<60 + 1<<bits + 3},
+		{1<<60 + 1<<bits + 1, 1<<60 + 1<<bits - 4},
+	}
+	for _, c := range cases {
+		if got := reconstructNear(c.local, c.truth&(1<<bits-1), bits); got != c.truth {
+			t.Errorf("reconstructNear(%#x, lsb(%#x)) = %#x, want %#x",
+				c.local, c.truth, got, c.truth)
+		}
+	}
+}
+
+// TestUnitCounterResetAt: power loss restarts the counter from zero —
+// the one legitimate backward movement — and clears stall state.
+func TestUnitCounterResetAt(t *testing.T) {
+	sch, u := newCounterFixture(1)
+	sch.Run(sim.Microsecond)
+	now := sch.Now()
+	u.setAt(u.at(now)+1_000_000, now)
+	u.stallBy(10, now)
+	if u.at(now) == 0 {
+		t.Fatal("counter did not advance before reset")
+	}
+	u.resetAt(now)
+	if got := u.at(now); got != 0 {
+		t.Fatalf("counter after reset = %d, want 0", got)
+	}
+	// It runs again at the oscillator rate from the reset instant.
+	sch.Run(2 * sim.Microsecond)
+	if got := u.at(sch.Now()); got != 156 {
+		t.Fatalf("counter 1us after reset = %d, want 156", got)
+	}
+	// And jumping (the INIT/JOIN path after a crash) still works.
+	u.setAt(500, sch.Now())
+	if got := u.at(sch.Now()); got != 500 {
+		t.Fatalf("post-reset jump = %d, want 500", got)
+	}
+}
+
 func TestOpenGate(t *testing.T) {
 	g := OpenGate{}
 	for _, w := range []uint64{0, 1, 12345} {

@@ -118,6 +118,38 @@ func (d *Device) stall(excess uint64, at simTime) {
 	}
 }
 
+// Crash models an abrupt device power loss: every port goes down — on
+// both ends, because the peer's PHY loses signal the instant the lasers
+// die — and all protocol state (measured delays, MSB caches, beacon
+// schedules) is discarded. The counter content is lost too, but the
+// register is only visibly reset by Restart; a crashed device has no
+// observable counter.
+func (d *Device) Crash() {
+	tel := &d.net.tel
+	tel.crashes.Inc()
+	tel.tr.Record(d.net.Sch.Now(), telemetry.KindDeviceCrash, d.node.Name, 0, 0, "")
+	for _, p := range d.ports {
+		p.peer.Down()
+		p.Down()
+	}
+}
+
+// Restart powers a crashed device back on: the counter restarts from
+// zero and every link comes back up, re-entering through INIT exactly
+// like a cold boot. The JOIN machinery then pulls the device (and its
+// now-lagging counter) up to the network maximum (§3.2 "Network
+// dynamics").
+func (d *Device) Restart() {
+	now := d.net.Sch.Now()
+	d.gc.resetAt(now)
+	tel := &d.net.tel
+	tel.tr.Record(now, telemetry.KindDeviceRestart, d.node.Name, 0, 0, "")
+	for _, p := range d.ports {
+		p.Up()
+		p.peer.Up()
+	}
+}
+
 // tickDur converts n of this device's clock ticks to simulated time at
 // the oscillator's current rate.
 func (d *Device) tickDur(n int) simTime {

@@ -123,8 +123,16 @@ func NewNetwork(sch *sim.Scheduler, seed uint64, graph topo.Graph, cfg Config, o
 	for li, l := range graph.Links {
 		a, b := n.Devices[l.A], n.Devices[l.B]
 		delay := link.DelayForLength(l.LengthM)
-		wireAB := link.New(sch, n.rng.Fork(fmt.Sprintf("wire/%d/ab", li)), link.Config{Delay: delay, BER: cfg.BER})
-		wireBA := link.New(sch, n.rng.Fork(fmt.Sprintf("wire/%d/ba", li)), link.Config{Delay: delay, BER: cfg.BER})
+		wireAB, err := link.New(sch, n.rng.Fork(fmt.Sprintf("wire/%d/ab", li)), link.Config{Delay: delay, BER: cfg.BER})
+		if err != nil {
+			return nil, fmt.Errorf("core: link %d (%s-%s): %w", li,
+				graph.Nodes[l.A].Name, graph.Nodes[l.B].Name, err)
+		}
+		wireBA, err := link.New(sch, n.rng.Fork(fmt.Sprintf("wire/%d/ba", li)), link.Config{Delay: delay, BER: cfg.BER})
+		if err != nil {
+			return nil, fmt.Errorf("core: link %d (%s-%s): %w", li,
+				graph.Nodes[l.A].Name, graph.Nodes[l.B].Name, err)
+		}
 		// Port cycle granularity: 1 in homogeneous networks; the link
 		// speed's Delta when devices run the 0.32 ns base clock.
 		pd := uint64(1)
@@ -170,6 +178,13 @@ func (n *Network) Start() {
 // LinkPorts returns the two ports of topology link i.
 func (n *Network) LinkPorts(i int) (*Port, *Port) {
 	return n.linkPorts[i][0], n.linkPorts[i][1]
+}
+
+// LinkWires returns the two directional wires of topology link i in
+// (A→B, B→A) node order, for runtime impairment injection
+// (internal/chaos): BER bursts, grey loss, delay asymmetry.
+func (n *Network) LinkWires(i int) (ab, ba *link.Wire) {
+	return n.linkPorts[i][0].wire, n.linkPorts[i][1].wire
 }
 
 // SetLinkUp / SetLinkDown control both directions of topology link i,

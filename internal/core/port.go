@@ -45,6 +45,16 @@ type Port struct {
 	// owdUnits is the one-way delay measured during INIT, in counter
 	// units; -1 until measured.
 	owdUnits int64
+	// sessionMinOwd is the smallest OWD any INIT round of this link
+	// session measured (-1 before the first). A watchdog demote re-runs
+	// INIT without a link bounce, so the CDC fill — and with it the
+	// deterministic transit floor — is unchanged; but a short probe
+	// burst can land entirely in the +1 region of the slow CDC beat and
+	// come back one unit high. Re-measurements are therefore clamped to
+	// the session minimum: overestimating the OWD ratchets the whole
+	// network's counter (§3.3), while underestimating it merely costs
+	// precision and is recovered at the next real link bounce.
+	sessionMinOwd int64
 	// initOutstanding maps the masked counter value embedded in each
 	// in-flight INIT to its full value, so ACK echoes can be paired.
 	initOutstanding map[uint64]uint64
@@ -52,9 +62,21 @@ type Port struct {
 	// OWD uses the minimum, which carries the least CDC noise.
 	initRTTs  []int64
 	initEvent *sim.Event // retry timer
+	// initBackoff is the consecutive-empty-round count; the INIT retry
+	// timeout doubles with it (capped) so a flapping or dead peer cannot
+	// spin the state machine at full probe rate forever.
+	initBackoff uint
 
 	beaconEvent *sim.Event
 	beaconsSent uint64
+
+	// Beacon-loss watchdog: lastRx is the arrival time of the last
+	// message processed from the peer (any type); watchEvent fires
+	// periodically while SYNCED and demotes the port back to INIT when
+	// the peer has been silent for BeaconTimeoutIntervals beacon
+	// intervals, or when a faulty mark has outlived FaultyCooldownTicks.
+	lastRx     simTime
+	watchEvent *sim.Event
 
 	// Received-MSB state for reconstructing full 106-bit counters.
 	peerMsb     uint64
@@ -87,6 +109,7 @@ type Port struct {
 	// Failure handling (§3.2): guard violations within a sliding window
 	// mark the peer faulty.
 	faulty          bool
+	faultyAt        simTime // when the faulty mark was set
 	violationCount  int
 	violationWindow uint64 // tick at which the current window started
 
@@ -94,6 +117,7 @@ type Port struct {
 	beaconsReceived uint64
 	beaconsIgnored  uint64
 	jumps           uint64
+	droppedDown     uint64 // blocks that arrived while the port was down
 
 	// tname is the precomputed Name() used in trace events, set by
 	// Network.Instrument so the hot path never formats strings.
@@ -148,6 +172,8 @@ func (p *Port) Up() {
 	p.setState(portInit)
 	p.faulty = false
 	p.violationCount = 0
+	p.initBackoff = 0
+	p.sessionMinOwd = -1
 	if max := p.cfg().CDCMaxExtraTicks; max > 0 {
 		p.cdcFill = p.rng.IntN(max + 1)
 	}
@@ -175,6 +201,10 @@ func (p *Port) Down() {
 		p.initEvent.Cancel()
 		p.initEvent = nil
 	}
+	if p.watchEvent != nil {
+		p.watchEvent.Cancel()
+		p.watchEvent = nil
+	}
 }
 
 // initSamples is how many INIT/INIT-ACK exchanges one delay measurement
@@ -201,9 +231,13 @@ func (p *Port) sendInit() {
 		})
 	}
 	// Retry if INITs or ACKs are lost — to bit errors, or because the
-	// peer had not come up yet. The timeout is generous relative to any
-	// plausible RTT (20k ticks ≈ 128 µs at 10 GbE).
-	retry := p.dev.tickDur(20_000)
+	// peer had not come up yet. The base timeout is generous relative to
+	// any plausible RTT (20k ticks ≈ 128 µs at 10 GbE); consecutive
+	// rounds with zero replies double it, bounded, so a dead or
+	// partitioned peer costs ever fewer probes instead of a full-rate
+	// spin. The backoff resets the moment the peer shows life (an INIT
+	// from it, a completed measurement, or a fresh link-up).
+	retry := p.dev.tickDur(initRetryTicks << p.initBackoff)
 	p.initEvent = p.sch().After(retry, func() {
 		if p.state != portInit {
 			return
@@ -212,9 +246,20 @@ func (p *Port) sendInit() {
 			p.finishInit() // partial round: use what arrived
 			return
 		}
+		if p.initBackoff < maxInitBackoff {
+			p.initBackoff++
+		}
 		p.sendInit()
 	})
 }
+
+// initRetryTicks is the base INIT-round retry timeout; maxInitBackoff
+// caps the exponential backoff at initRetryTicks<<maxInitBackoff
+// (640k ticks ≈ 4.1 ms at 10 GbE).
+const (
+	initRetryTicks = 20_000
+	maxInitBackoff = 5
+)
 
 // --- Transmit path ----------------------------------------------------
 
@@ -239,6 +284,9 @@ func (p *Port) transmitNow(after int, t phy.MsgType, payload func() uint64) {
 // embedded value is exact, §4.2) and sends it down the TX pipeline. At
 // 1 GbE the message leaves as four back-to-back ordered-set fragments.
 func (p *Port) insert(t phy.MsgType, payload uint64) {
+	if p.state == portDown {
+		return // slot fired after the port was torn down
+	}
 	codec := p.codec()
 	m := phy.Message{Type: t, Payload: payload & codec.CounterMask()}
 	txDelay := p.cycleDur(p.cfg().TxPipelineTicks)
@@ -321,6 +369,7 @@ func (p *Port) scheduleBeacons(fromCycle uint64) {
 // nondeterminism on an otherwise idle link (§2.5).
 func (p *Port) onWireArrival(b phy.Block) {
 	if p.state == portDown {
+		p.dropDown()
 		return
 	}
 	// The RX pipeline runs in the recovered clock domain: the sender's
@@ -331,6 +380,7 @@ func (p *Port) onWireArrival(b phy.Block) {
 
 func (p *Port) cdcCross(b phy.Block) {
 	if p.state == portDown {
+		p.dropDown()
 		return
 	}
 	if !b.Valid() {
@@ -389,8 +439,10 @@ func (p *Port) cdcExtraCycles(now simTime) int {
 // process handles a message in the local clock domain.
 func (p *Port) process(m phy.Message) {
 	if p.state == portDown {
+		p.dropDown()
 		return
 	}
+	p.lastRx = p.sch().Now()
 	switch m.Type {
 	case phy.MsgInit:
 		// T1: reply with INIT-ACK echoing the sender's counter. The
@@ -400,6 +452,19 @@ func (p *Port) process(m phy.Message) {
 		// to transit-1..transit, the regime the §3.3 analysis assumes.
 		echo := m.Payload
 		p.transmitNow(p.cfg().AckTurnaroundTicks, phy.MsgInitAck, func() uint64 { return echo })
+		// A peer that probes us while we are backed off has just come
+		// back: drop the backoff and start a fresh full-rate round now
+		// instead of waiting out an inflated retry timer. Loop-safe —
+		// the re-kick only fires when this side was actually backed off,
+		// and it resets the backoff first.
+		if p.state == portInit && p.initBackoff > 0 {
+			p.initBackoff = 0
+			if p.initEvent != nil {
+				p.initEvent.Cancel()
+				p.initEvent = nil
+			}
+			p.sendInit()
+		}
 	case phy.MsgInitAck:
 		p.handleInitAck(m.Payload)
 	case phy.MsgBeacon:
@@ -457,8 +522,13 @@ func (p *Port) finishInit() {
 	if d < 0 {
 		d = 0
 	}
+	if p.sessionMinOwd >= 0 && p.sessionMinOwd < d {
+		d = p.sessionMinOwd // same link session: trust only the floor
+	}
+	p.sessionMinOwd = d
 	p.owdUnits = d
 	p.setState(portSynced)
+	p.initBackoff = 0
 	tel := &p.dev.net.tel
 	tel.owd.Observe(float64(d))
 	tel.tr.Record(p.sch().Now(), telemetry.KindSynced, p.tname, d, int64(len(p.initRTTs)), "")
@@ -472,9 +542,12 @@ func (p *Port) finishInit() {
 		p.pendingJoin = nil
 		p.dev.jump(target, p, true)
 	}
-	// Announce our counter for max-agreement, then start beacons.
+	// Announce our counter for max-agreement, then start beacons and
+	// the beacon-loss watchdog.
 	p.sch().After(p.cycleDur(int(cfg.JoinDelayTicks)), p.sendJoinPair)
 	p.scheduleBeacons(p.dev.clock.Counter() / p.pd)
+	p.lastRx = p.sch().Now()
+	p.scheduleWatchdog()
 }
 
 // handleBeacon implements T4: lc ← max(lc, c + d), with the paper's
@@ -574,10 +647,100 @@ func (p *Port) recordViolation() {
 			tel.faultyPorts.Inc()
 			tel.tr.Record(p.sch().Now(), telemetry.KindFaultyPeer, p.tname,
 				int64(p.violationCount), 0, "")
+			p.faultyAt = p.sch().Now()
 		}
 		p.faulty = true
 	}
 }
+
+// --- Beacon-loss watchdog (hardening beyond the paper) ----------------
+
+// Demotion reasons carried in KindPortDemoted trace events.
+const (
+	demoteBeaconLoss     = 0 // peer silent for BeaconTimeoutIntervals
+	demoteFaultyCooldown = 1 // faulty mark outlived FaultyCooldownTicks
+)
+
+// scheduleWatchdog arms the beacon-loss watchdog: while SYNCED, the port
+// checks every BeaconTimeoutIntervals beacon intervals that the peer has
+// said *something*. A peer that is nominally up but silent — a grey
+// failure the link layer never reports — would otherwise leave this port
+// free-running in SYNCED forever, consuming drift with no resync. The
+// same sweep retires stale faulty marks when FaultyCooldownTicks is set.
+func (p *Port) scheduleWatchdog() {
+	cfg := p.cfg()
+	if cfg.BeaconTimeoutIntervals <= 0 {
+		return
+	}
+	if p.watchEvent != nil {
+		p.watchEvent.Cancel()
+	}
+	period := p.cycleDur(int(cfg.BeaconIntervalTicks) * cfg.BeaconTimeoutIntervals)
+	p.watchEvent = p.sch().After(period, func() {
+		p.watchEvent = nil
+		if p.state != portSynced {
+			return
+		}
+		now := p.sch().Now()
+		if now-p.lastRx >= period {
+			p.demote(demoteBeaconLoss)
+			return
+		}
+		if p.faulty && cfg.FaultyCooldownTicks > 0 &&
+			now-p.faultyAt >= p.dev.tickDur(int(cfg.FaultyCooldownTicks)) {
+			p.demote(demoteFaultyCooldown)
+			return
+		}
+		p.scheduleWatchdog()
+	})
+}
+
+// demote drops a SYNCED port back to INIT and re-runs the delay
+// measurement, clearing all per-session protocol state (the measured OWD
+// is stale by definition — the peer went away or was declared faulty).
+// Unlike Down, the port stays administratively up, so the re-INIT starts
+// immediately.
+func (p *Port) demote(reason int64) {
+	if p.state != portSynced {
+		return
+	}
+	tel := &p.dev.net.tel
+	tel.demotions.Inc()
+	tel.tr.Record(p.sch().Now(), telemetry.KindPortDemoted, p.tname, reason, p.owdUnits, "")
+	p.setState(portInit)
+	p.owdUnits = -1
+	p.havePeerMsb = false
+	p.pendingJoin = nil
+	p.asm = nil
+	p.faulty = false
+	p.violationCount = 0
+	p.initBackoff = 0
+	if p.beaconEvent != nil {
+		p.beaconEvent.Cancel()
+		p.beaconEvent = nil
+	}
+	if p.watchEvent != nil {
+		p.watchEvent.Cancel()
+		p.watchEvent = nil
+	}
+	if p.initEvent != nil {
+		p.initEvent.Cancel()
+		p.initEvent = nil
+	}
+	p.sendInit()
+}
+
+// dropDown accounts for a block that reached a down port: the peer is
+// still transmitting into a dead interface, a mismatch worth surfacing
+// (dtp_port_dropped_down_total) because it distinguishes one-sided
+// teardown from clean link death.
+func (p *Port) dropDown() {
+	p.droppedDown++
+	p.dev.net.tel.droppedDownN++
+}
+
+// DroppedDown returns how many blocks arrived while the port was down.
+func (p *Port) DroppedDown() uint64 { return p.droppedDown }
 
 // --- Helpers ----------------------------------------------------------
 

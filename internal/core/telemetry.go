@@ -34,12 +34,16 @@ type coreMetrics struct {
 	stalls         *telemetry.Counter
 	violations     *telemetry.Counter
 	faultyPorts    *telemetry.Counter
+	demotions      *telemetry.Counter
+	droppedDown    *telemetry.Counter
+	crashes        *telemetry.Counter
 	portsUp        *telemetry.Gauge
 	offsets        *telemetry.Histogram
 	owd            *telemetry.Histogram
 
 	// Beacon-rate shadows, owned by the scheduler goroutine.
 	sentN, rxN, ignoredN, jumpsN uint64
+	droppedDownN                 uint64
 	offBatch                     *telemetry.HistogramBatch
 }
 
@@ -70,6 +74,12 @@ func (n *Network) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 			"Guard violations counted toward faulty-peer detection (§3.2)."),
 		faultyPorts: reg.Counter("dtp_faulty_ports_total",
 			"Ports that declared their peer faulty and stopped synchronizing."),
+		demotions: reg.Counter("dtp_port_demotions_total",
+			"SYNCED ports demoted back to INIT by the beacon-loss watchdog or faulty cooldown."),
+		droppedDown: reg.Counter("dtp_port_dropped_down",
+			"Blocks that arrived on a down port and were discarded."),
+		crashes: reg.Counter("dtp_device_crashes_total",
+			"Devices crashed (power loss: all ports down, counter content lost)."),
 		portsUp: reg.Gauge("dtp_ports_up",
 			"Ports currently up (in INIT or SYNC state)."),
 		offsets: reg.Histogram("dtp_beacon_offset_ticks",
@@ -109,6 +119,10 @@ func (n *Network) telemetryFlush() {
 	if t.jumpsN != 0 {
 		t.jumps.Add(t.jumpsN)
 		t.jumpsN = 0
+	}
+	if t.droppedDownN != 0 {
+		t.droppedDown.Add(t.droppedDownN)
+		t.droppedDownN = 0
 	}
 	t.offBatch.Flush()
 	n.Sch.After(telemetryFlushInterval, n.telemetryFlush)

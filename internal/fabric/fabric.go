@@ -182,13 +182,19 @@ func New(sch *sim.Scheduler, seed uint64, graph topo.Graph, cfg Config) (*Networ
 	}
 	for li, l := range graph.Links {
 		delay := link.DelayForLength(l.LengthM)
+		wa, err := link.New(sch, n.rng.Fork(fmt.Sprintf("w%da", li)), link.Config{Delay: delay})
+		if err != nil {
+			return nil, fmt.Errorf("fabric: link %d: %w", li, err)
+		}
+		wb, err := link.New(sch, n.rng.Fork(fmt.Sprintf("w%db", li)), link.Config{Delay: delay})
+		if err != nil {
+			return nil, fmt.Errorf("fabric: link %d: %w", li, err)
+		}
 		n.elements[l.A].ports[li] = &egressPort{
-			owner: n.elements[l.A], linkIdx: li, peerNode: l.B,
-			wire: link.New(sch, n.rng.Fork(fmt.Sprintf("w%da", li)), link.Config{Delay: delay}),
+			owner: n.elements[l.A], linkIdx: li, peerNode: l.B, wire: wa,
 		}
 		n.elements[l.B].ports[li] = &egressPort{
-			owner: n.elements[l.B], linkIdx: li, peerNode: l.A,
-			wire: link.New(sch, n.rng.Fork(fmt.Sprintf("w%db", li)), link.Config{Delay: delay}),
+			owner: n.elements[l.B], linkIdx: li, peerNode: l.A, wire: wb,
 		}
 	}
 	return n, nil

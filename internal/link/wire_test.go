@@ -18,7 +18,7 @@ func TestDelayForLength(t *testing.T) {
 
 func TestSendBlockDelay(t *testing.T) {
 	sch := sim.NewScheduler()
-	w := New(sch, sim.NewRNG(1, "wire"), Config{Delay: 50 * sim.Nanosecond})
+	w := mustNew(t, sch, sim.NewRNG(1, "wire"), Config{Delay: 50 * sim.Nanosecond})
 	var arrived sim.Time
 	b := phy.IdleBlock()
 	w.SendBlock(b, func(got phy.Block) {
@@ -35,7 +35,7 @@ func TestSendBlockDelay(t *testing.T) {
 
 func TestSendOpaqueDelay(t *testing.T) {
 	sch := sim.NewScheduler()
-	w := New(sch, sim.NewRNG(1, "wire"), Config{Delay: 5 * sim.Microsecond})
+	w := mustNew(t, sch, sim.NewRNG(1, "wire"), Config{Delay: 5 * sim.Microsecond})
 	fired := false
 	w.Send(func() { fired = sch.Now() == 5*sim.Microsecond })
 	sch.Run(sim.Second)
@@ -46,7 +46,7 @@ func TestSendOpaqueDelay(t *testing.T) {
 
 func TestZeroBERNeverCorrupts(t *testing.T) {
 	sch := sim.NewScheduler()
-	w := New(sch, sim.NewRNG(1, "wire"), Config{Delay: 1})
+	w := mustNew(t, sch, sim.NewRNG(1, "wire"), Config{Delay: 1})
 	for i := 0; i < 1000; i++ {
 		b := phy.Codec{}.EmbedMessage(phy.Message{Type: phy.MsgBeacon, Payload: uint64(i)})
 		w.SendBlock(b, func(got phy.Block) {
@@ -64,7 +64,7 @@ func TestZeroBERNeverCorrupts(t *testing.T) {
 func TestHighBERCorruptsAboutExpectedRate(t *testing.T) {
 	sch := sim.NewScheduler()
 	// BER 1e-3 => per-block error prob ~6.4%.
-	w := New(sch, sim.NewRNG(42, "wire"), Config{Delay: 1, BER: 1e-3})
+	w := mustNew(t, sch, sim.NewRNG(42, "wire"), Config{Delay: 1, BER: 1e-3})
 	n := 20000
 	diffs := 0
 	for i := 0; i < n; i++ {
@@ -88,7 +88,7 @@ func TestHighBERCorruptsAboutExpectedRate(t *testing.T) {
 
 func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
 	sch := sim.NewScheduler()
-	w := New(sch, sim.NewRNG(7, "wire"), Config{Delay: 1, BER: 0.1})
+	w := mustNew(t, sch, sim.NewRNG(7, "wire"), Config{Delay: 1, BER: 0.1})
 	sawSyncFlip := false
 	for i := 0; i < 5000; i++ {
 		b := phy.IdleBlock()
@@ -128,11 +128,99 @@ func popcount64(v uint64) int {
 	return n
 }
 
-func TestNegativeDelayPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("negative delay did not panic")
+func mustNew(t *testing.T, sch *sim.Scheduler, rng *sim.RNG, cfg Config) *Wire {
+	t.Helper()
+	w, err := New(sch, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNegativeDelayRejected(t *testing.T) {
+	if _, err := New(sim.NewScheduler(), sim.NewRNG(1, "w"), Config{Delay: -1}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if _, err := New(sim.NewScheduler(), sim.NewRNG(1, "w"), Config{Delay: 1, BER: 1.5}); err == nil {
+		t.Fatal("BER >= 1 accepted")
+	}
+}
+
+func TestSetBERRuntimeMutation(t *testing.T) {
+	sch := sim.NewScheduler()
+	w := mustNew(t, sch, sim.NewRNG(5, "wire"), Config{Delay: 1})
+	clean, dirty := 0, 0
+	send := func(n int, dirtyCount *int) {
+		for i := 0; i < n; i++ {
+			b := phy.IdleBlock()
+			w.SendBlock(b, func(got phy.Block) {
+				if got != b {
+					*dirtyCount++
+				}
+			})
+			sch.RunFor(sim.Nanosecond)
 		}
-	}()
-	New(sim.NewScheduler(), sim.NewRNG(1, "w"), Config{Delay: -1})
+	}
+	send(2000, &clean)
+	if clean != 0 {
+		t.Fatalf("%d corruptions before SetBER", clean)
+	}
+	w.SetBER(1e-2) // per-block ~48%
+	send(2000, &dirty)
+	if dirty < 500 {
+		t.Fatalf("only %d/2000 corruptions after SetBER(1e-2)", dirty)
+	}
+	w.SetBER(0)
+	clean = 0
+	send(2000, &clean)
+	if clean != 0 {
+		t.Fatalf("%d corruptions after SetBER(0)", clean)
+	}
+}
+
+func TestSetDelayRuntimeMutation(t *testing.T) {
+	sch := sim.NewScheduler()
+	w := mustNew(t, sch, sim.NewRNG(5, "wire"), Config{Delay: 50 * sim.Nanosecond})
+	// A block already in flight keeps its launch delay.
+	var first, second sim.Time
+	start := sch.Now()
+	w.SendBlock(phy.IdleBlock(), func(phy.Block) { first = sch.Now() - start })
+	if err := w.SetDelay(200 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	w.SendBlock(phy.IdleBlock(), func(phy.Block) { second = sch.Now() - start })
+	sch.Run(sim.Microsecond)
+	if first != 50*sim.Nanosecond {
+		t.Fatalf("in-flight block arrived after %v, want 50ns", first)
+	}
+	if second != 200*sim.Nanosecond {
+		t.Fatalf("post-mutation block arrived after %v, want 200ns", second)
+	}
+	if err := w.SetDelay(-1); err == nil {
+		t.Fatal("negative SetDelay accepted")
+	}
+}
+
+func TestSetLossDropsBlocks(t *testing.T) {
+	sch := sim.NewScheduler()
+	w := mustNew(t, sch, sim.NewRNG(9, "wire"), Config{Delay: 1})
+	w.SetLossP(1)
+	delivered := 0
+	for i := 0; i < 100; i++ {
+		w.SendBlock(phy.IdleBlock(), func(phy.Block) { delivered++ })
+		w.Send(func() { delivered++ })
+	}
+	sch.Run(sim.Microsecond)
+	if delivered != 0 {
+		t.Fatalf("%d deliveries at loss 1.0", delivered)
+	}
+	if w.Dropped() != 200 {
+		t.Fatalf("dropped = %d, want 200", w.Dropped())
+	}
+	w.SetLossP(0)
+	w.SendBlock(phy.IdleBlock(), func(phy.Block) { delivered++ })
+	sch.Run(2 * sim.Microsecond)
+	if delivered != 1 {
+		t.Fatal("block lost after loss cleared")
+	}
 }

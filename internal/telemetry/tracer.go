@@ -56,6 +56,21 @@ const (
 	// the hop distance plus the last trace events touching either device
 	// (the causal context).
 	KindBoundViolation
+	// KindPortDemoted: a SYNCED port demoted itself back to INIT; V1 is
+	// the demotion reason code (0 = beacon-loss timeout, 1 = faulty-peer
+	// cooldown expired), Detail the reason name.
+	KindPortDemoted
+	// KindChaosInject / KindChaosClear: the fault-injection engine
+	// (internal/chaos) started or cleared a fault; Who is the target
+	// (link "a-b" or device name), V1 the fault index in the scenario,
+	// and Detail the fault kind plus its parameters.
+	KindChaosInject
+	KindChaosClear
+	// KindDeviceCrash / KindDeviceRestart: a device lost power (ports on
+	// both link ends go down, counter content lost) or powered back on
+	// (counter restarts from zero, links re-enter through INIT).
+	KindDeviceCrash
+	KindDeviceRestart
 
 	numKinds
 )
@@ -65,6 +80,8 @@ var kindNames = [numKinds]string{
 	"beacon_tx", "beacon_rx", "beacon_ignored", "counter_jump",
 	"counter_stall", "faulty_peer", "daemon_cal", "servo_update",
 	"clock_step", "master_switch", "frame_drop", "bound_violation",
+	"port_demoted", "chaos_inject", "chaos_clear",
+	"device_crash", "device_restart",
 }
 
 // String returns the stable snake_case name used in JSONL dumps.

@@ -191,6 +191,12 @@ func (c *Clock) AdjustPPM(ppm float64) {
 // PPM returns the current frequency offset in parts per million.
 func (c *Clock) PPM() float64 { return c.ppm }
 
+// MaxPPM returns the bound on |PPM| this clock was built with (the
+// 802.3 ±100 ppm limit unless overridden). Fault injectors clamp their
+// frequency steps to this so a "chaotic" oscillator stays a standards-
+// compliant one.
+func (c *Clock) MaxPPM() float64 { return c.maxPPM }
+
 // PeriodFs returns the current true tick period in femtoseconds.
 func (c *Clock) PeriodFs() int64 { return c.periodFs }
 
