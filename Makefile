@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos
+.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos campaign
 
 all: build vet test
 
@@ -27,10 +27,12 @@ bench:
 	go test -bench . -benchtime 1x -benchmem -run '^$$' .
 
 # Snapshot benchmark output to a dated file for benchstat against
-# future PRs.
+# future PRs, and refresh BENCH_5.json with the campaign runner's
+# parallel-vs-serial numbers.
 bench-save:
 	mkdir -p bench
 	go test -bench . -benchtime 1x -benchmem -run '^$$' . | tee bench/$$(date +%Y%m%d)-$$(git rev-parse --short HEAD).txt
+	CAMPAIGN_BENCH_OUT=$$(pwd)/BENCH_5.json go test -bench BenchmarkCampaign$$ -benchtime 1x -run '^$$' ./internal/campaign
 
 # Run the online 4TD-bound auditor over the quickstart topology under
 # MTU load; dtpsim exits nonzero on any bound violation.
@@ -40,14 +42,20 @@ audit:
 
 # Multi-seed chaos soak: the fault-injection engine's own tests under
 # the race detector, then the canned storm campaign (flap storm + BER
-# burst + crash/restart on a 6-device chain) on several seeds. Each run
-# must show zero bound violations outside the declared fault windows
-# and reconverge within the scenario deadline, or dtpsim exits 1.
+# burst + crash/restart on a 6-device chain) on seeds 1-3 through the
+# campaign runner. Every run must show zero bound violations outside
+# the declared fault windows and reconverge within the scenario
+# deadline, or dtpsim exits 1.
 chaos:
 	go test -race -count=1 ./internal/chaos
-	go run ./cmd/dtpsim -topo chain:5 -chaos examples/chaos/storm.json -duration 5ms -watch 1ms -seed 1
-	go run ./cmd/dtpsim -topo chain:5 -chaos examples/chaos/storm.json -duration 5ms -watch 1ms -seed 2
-	go run ./cmd/dtpsim -topo chain:5 -chaos examples/chaos/storm.json -duration 5ms -watch 1ms -seed 3
+	go run ./cmd/dtpsim -topo chain:5 -chaos examples/chaos/storm.json -duration 5ms -seed 1 -sweep-seeds 3 -jobs 4
+
+# Campaign runner: determinism tests under the race detector, then a
+# small mixed grid across 4 workers and the example grid file.
+campaign:
+	go test -race -count=1 ./internal/campaign ./internal/par ./internal/cliutil
+	go run ./cmd/dtpsim -topo chain:3 -duration 5ms -sweep-seeds 4 -jobs 4 > /dev/null
+	go run ./cmd/dtpsim -campaign examples/campaign/smoke.json -jobs 4 > /dev/null
 
 # Regenerate every table and figure (long; see EXPERIMENTS.md).
 experiments:

@@ -10,12 +10,17 @@
 //	dtpd -duration 2s -cal 10ms -listen :9090 &
 //	curl localhost:9090/metrics   # Prometheus text exposition
 //	curl localhost:9090/trace     # JSONL protocol events
+//
+// Daemons attach to every host node of the -topo graph (default: the
+// paper's tree, eight hosts s4–s11); -metrics-out and -trace-out dump
+// the registry and the protocol trace to files at exit.
 package main
 
 import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -24,24 +29,45 @@ import (
 	"sort"
 	"time"
 
+	"github.com/dtplab/dtp/internal/cliutil"
 	"github.com/dtplab/dtp/internal/core"
 	"github.com/dtplab/dtp/internal/daemon"
 	"github.com/dtplab/dtp/internal/sim"
 	"github.com/dtplab/dtp/internal/telemetry"
-	"github.com/dtplab/dtp/internal/topo"
 )
 
 var (
-	durFlag    = flag.Duration("duration", 2*time.Second, "simulated run length")
+	// -topo -seed -duration -metrics-out -trace-out
+	shared = cliutil.Flags{Topo: "tree", Duration: 2 * time.Second}
+
 	calFlag    = flag.Duration("cal", 10*time.Millisecond, "daemon calibration interval")
-	seedFlag   = flag.Uint64("seed", 1, "deterministic seed")
 	listenFlag = flag.String("listen", "", "serve /metrics and /trace on this address (e.g. :9090) and keep running")
 	traceFlag  = flag.Int("trace-cap", 16384, "protocol trace ring capacity (events)")
 	pprofFlag  = flag.Bool("pprof", false, "with -listen, also expose /debug/pprof/* and /debug/vars")
 )
 
 func main() {
+	shared.Register(flag.CommandLine,
+		cliutil.FlagTopo|cliutil.FlagSeed|cliutil.FlagDuration|
+			cliutil.FlagMetricsOut|cliutil.FlagTraceOut)
 	flag.Parse()
+	if err := shared.Validate(); err != nil {
+		cliutil.Fatal("dtpd", 2, err)
+	}
+	g, err := shared.Topology()
+	if err != nil {
+		cliutil.Fatal("dtpd", 2, err)
+	}
+	// Daemons attach to host NICs; a topology without hosts (e.g. a pure
+	// switch chain) still syncs but has nothing to demonstrate here.
+	var hosts []string
+	for _, id := range g.HostIDs() {
+		hosts = append(hosts, g.Nodes[id].Name)
+	}
+	if len(hosts) == 0 {
+		cliutil.Fatal("dtpd", 2, fmt.Errorf("topology %q has no host nodes to run daemons on", shared.Topo))
+	}
+
 	reg := telemetry.New()
 	tracer := telemetry.NewTracer(*traceFlag)
 	tracer.SetKinds() // demo binary: include per-beacon firehose kinds in /trace
@@ -49,11 +75,9 @@ func main() {
 	// Bind the listener before simulating so a bad -listen fails fast.
 	var ln net.Listener
 	if *listenFlag != "" {
-		var err error
 		ln, err = net.Listen("tcp", *listenFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtpd:", err)
-			os.Exit(1)
+			cliutil.Fatal("dtpd", 1, err)
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/", telemetry.Handler(reg, tracer))
@@ -80,38 +104,34 @@ func main() {
 	// A long-lived daemon may report wall-clock throughput: these metrics
 	// are intentionally nondeterministic and never appear in dtpsim dumps.
 	telemetry.InstrumentScheduler(reg, sch, telemetry.SchedOptions{WallRate: true})
-	n, err := core.NewNetwork(sch, *seedFlag, topo.PaperTree(), core.DefaultConfig())
+	n, err := core.NewNetwork(sch, shared.Seed, g, core.DefaultConfig())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtpd:", err)
-		os.Exit(1)
+		cliutil.Fatal("dtpd", 1, err)
 	}
 	n.Instrument(reg, tracer)
 	n.Start()
 	sch.Run(10 * sim.Millisecond)
 	if !n.AllSynced() {
-		fmt.Fprintln(os.Stderr, "dtpd: network failed to synchronize")
-		os.Exit(1)
+		cliutil.Fatal("dtpd", 1, fmt.Errorf("network failed to synchronize"))
 	}
 
 	dcfg := daemon.DefaultConfig()
 	dcfg.CalInterval = sim.FromStd(*calFlag)
-	hosts := []string{"s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"}
 	daemons := map[string]*daemon.Daemon{}
 	for i, h := range hosts {
 		dev, err := n.DeviceByName(h)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtpd:", err)
-			os.Exit(1)
+			cliutil.Fatal("dtpd", 1, err)
 		}
-		d := daemon.New(dev, dcfg, *seedFlag+uint64(i)+100)
+		d := daemon.New(dev, dcfg, shared.Seed+uint64(i)+100)
 		d.Instrument(reg, tracer)
 		d.Start()
 		daemons[h] = d
 	}
 
-	// External synchronization: s4's daemon broadcasts UTC (from a
-	// perfect source standing in for GPS/PTP at the timeserver).
-	b := daemon.NewUTCBroadcaster(daemons["s4"], daemon.TrueUTC{Sch: sch}, 50*sim.Millisecond)
+	// External synchronization: the first host's daemon broadcasts UTC
+	// (from a perfect source standing in for GPS/PTP at the timeserver).
+	b := daemon.NewUTCBroadcaster(daemons[hosts[0]], daemon.TrueUTC{Sch: sch}, 50*sim.Millisecond)
 	followers := map[string]*daemon.UTCFollower{}
 	for _, h := range hosts[1:] {
 		f := daemon.NewUTCFollower(daemons[h])
@@ -120,7 +140,7 @@ func main() {
 	}
 	b.Start()
 
-	sch.RunFor(sim.FromStd(*durFlag))
+	sch.RunFor(sim.FromStd(shared.Duration))
 
 	fmt.Println("== DTP daemon offsets (estimate - hardware counter), ticks")
 	fmt.Printf("%-5s %8s %8s %8s %8s\n", "host", "samples", "min", "max", "p99|.|")
@@ -131,19 +151,21 @@ func main() {
 			h, hist.Count(), hist.Min(), hist.Max(), hist.QuantileAbs(0.99))
 	}
 
-	fmt.Println("\n== UTC via external synchronization (§5.2), error vs true time")
-	utc := reg.Histogram("dtp_utc_error_ns",
-		"UTC-follower error versus true time, in nanoseconds (§5.2).",
-		telemetry.LinearBuckets(-200, 20, 21))
-	for i := 0; i < 200; i++ {
-		sch.RunFor(sim.Millisecond)
-		for _, f := range followers {
-			utc.Observe(f.UTCErrorPs() / 1000)
+	if len(followers) > 0 {
+		fmt.Println("\n== UTC via external synchronization (§5.2), error vs true time")
+		utc := reg.Histogram("dtp_utc_error_ns",
+			"UTC-follower error versus true time, in nanoseconds (§5.2).",
+			telemetry.LinearBuckets(-200, 20, 21))
+		for i := 0; i < 200; i++ {
+			sch.RunFor(sim.Millisecond)
+			for _, f := range followers {
+				utc.Observe(f.UTCErrorPs() / 1000)
+			}
 		}
+		fmt.Printf("followers: %d, |error| max %.0f ns, p99 %.0f ns\n",
+			len(followers), math.Max(math.Abs(utc.Min()), math.Abs(utc.Max())),
+			utc.QuantileAbs(0.99))
 	}
-	fmt.Printf("followers: %d, |error| max %.0f ns, p99 %.0f ns\n",
-		len(followers), math.Max(math.Abs(utc.Min()), math.Abs(utc.Max())),
-		utc.QuantileAbs(0.99))
 
 	// Cross-host comparison: the end-to-end software precision claim
 	// (4TD + 8T).
@@ -163,6 +185,23 @@ func main() {
 	}
 	fmt.Printf("\n== End-to-end software precision: worst daemon-vs-daemon error %.1f ticks (= %.1f ns; paper bound 4TD+8T)\n",
 		worst.Value(), worst.Value()*6.4)
+
+	if shared.MetricsOut != "" {
+		if err := cliutil.WriteFile(shared.MetricsOut, func(w io.Writer) error {
+			return telemetry.WritePrometheus(w, reg)
+		}); err != nil {
+			cliutil.Fatal("dtpd", 1, err)
+		}
+		fmt.Printf("metrics written to %s\n", shared.MetricsOut)
+	}
+	if shared.TraceOut != "" {
+		if err := cliutil.WriteFile(shared.TraceOut, func(w io.Writer) error {
+			return telemetry.WriteJSONL(w, tracer)
+		}); err != nil {
+			cliutil.Fatal("dtpd", 1, err)
+		}
+		fmt.Printf("trace written to %s\n", shared.TraceOut)
+	}
 
 	if ln != nil {
 		fmt.Printf("\ndtpd: simulation finished; telemetry stays up on http://%s (Ctrl-C to exit)\n", ln.Addr())

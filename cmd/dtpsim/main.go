@@ -7,61 +7,143 @@
 //	dtpsim -topo tree -duration 500ms -watch 50ms
 //	dtpsim -topo fattree:4 -load mtu -seed 9
 //	dtpsim -topo chain:6 -beacon 1200
+//
+// With -sweep-seeds N (or -campaign grid.json) dtpsim becomes a
+// campaign: N independent runs fan out across -jobs workers, per-run
+// results stream as JSONL in grid order (byte-identical for any -jobs
+// value), and an aggregate summary closes the run:
+//
+//	dtpsim -topo chain:5 -chaos examples/chaos/storm.json -duration 5ms -sweep-seeds 3 -jobs 4
+//	dtpsim -campaign examples/campaign/smoke.json -jobs 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"github.com/dtplab/dtp"
+	"github.com/dtplab/dtp/internal/campaign"
+	"github.com/dtplab/dtp/internal/cliutil"
 	"github.com/dtplab/dtp/internal/telemetry"
 )
 
 var (
-	topoFlag   = flag.String("topo", "pair", "topology: pair | tree | star:N | chain:N | fattree:K")
-	durFlag    = flag.Duration("duration", 500*time.Millisecond, "simulated run length")
+	// -topo -seed -duration -jobs -metrics-out -trace-out -chaos
+	shared = cliutil.Flags{Topo: "pair", Duration: 500 * time.Millisecond}
+
 	watchFlag  = flag.Duration("watch", 100*time.Millisecond, "offset report interval")
-	seedFlag   = flag.Uint64("seed", 1, "deterministic seed")
 	beaconFlag = flag.Uint64("beacon", 200, "beacon interval in ticks")
 	loadFlag   = flag.String("load", "none", "link load: none | mtu | jumbo")
 	wanderFlag = flag.Bool("wander", true, "enable oscillator wander")
 	berFlag    = flag.Float64("ber", 0, "wire bit error rate")
 	auditFlag  = flag.Bool("audit", false, "run the online 4TD-bound auditor; exit 1 on any violation")
-	chaosFlag  = flag.String("chaos", "", "fault-injection scenario JSON (see internal/chaos); implies -audit, exits 1 unless the campaign verifies")
 	auditEvery = flag.Duration("audit-every", 100*time.Microsecond, "auditor check cadence (simulated time)")
-	metricsOut = flag.String("metrics-out", "", "write final metrics (Prometheus text format) to this file")
-	traceOut   = flag.String("trace-out", "", "write the protocol event trace (JSONL) to this file")
 	traceCap   = flag.Int("trace-cap", 1<<20, "trace ring capacity; firehose kinds evict one-time INIT events from small rings")
+	sweepSeeds = flag.Int("sweep-seeds", 1, "campaign mode: run N consecutive seeds starting at -seed")
+	gridFlag   = flag.String("campaign", "", "campaign mode: run the grid declared in this JSON file")
 )
 
 func main() {
+	shared.Register(flag.CommandLine,
+		cliutil.FlagTopo|cliutil.FlagSeed|cliutil.FlagDuration|cliutil.FlagJobs|
+			cliutil.FlagMetricsOut|cliutil.FlagTraceOut|cliutil.FlagChaos)
 	flag.Parse()
-	g, err := dtp.ParseTopology(*topoFlag)
+	if err := shared.Validate(); err != nil {
+		cliutil.Fatal("dtpsim", 2, err)
+	}
+	if *sweepSeeds > 1 || *gridFlag != "" {
+		runCampaign()
+		return
+	}
+	runSingle()
+}
+
+// runCampaign expands the grid (from -campaign JSON, or from the
+// regular flags with -sweep-seeds consecutive seeds), fans it out
+// across -jobs workers, and streams deterministic JSONL per run
+// followed by the aggregate JSON and a human-readable summary.
+func runCampaign() {
+	var g campaign.Grid
+	if *gridFlag != "" {
+		loaded, err := campaign.LoadGrid(*gridFlag)
+		if err != nil {
+			cliutil.Fatal("dtpsim", 2, err)
+		}
+		g = *loaded
+	} else {
+		g = campaign.Grid{
+			Name:       fmt.Sprintf("sweep-%s", shared.Topo),
+			Topos:      []string{shared.Topo},
+			Seeds:      campaign.SeedSweep(shared.Seed, *sweepSeeds),
+			Loads:      []string{*loadFlag},
+			Beacons:    []uint64{*beaconFlag},
+			Durations:  []campaign.Duration{campaign.Duration(shared.Duration)},
+			Wander:     *wanderFlag,
+			BER:        *berFlag,
+			AuditEvery: campaign.Duration(*auditEvery),
+		}
+		if shared.Chaos != "" {
+			g.Chaos = []string{shared.Chaos}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		cliutil.Fatal("dtpsim", 2, err)
+	}
+	points := g.Expand()
+	fmt.Fprintf(os.Stderr, "dtpsim: campaign %q: %d runs on %s workers\n",
+		g.Name, len(points), jobsLabel(shared.Jobs))
+	rep, err := campaign.Run(g, campaign.Options{
+		Jobs: shared.Jobs,
+		OnResult: func(r *campaign.Result) {
+			if err := campaign.WriteResultJSON(os.Stdout, r); err != nil {
+				cliutil.Fatal("dtpsim", 1, err)
+			}
+		},
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtpsim:", err)
-		os.Exit(2)
+		cliutil.Fatal("dtpsim", 1, err)
+	}
+	if err := campaign.WriteAggregateJSON(os.Stdout, rep.Aggregate); err != nil {
+		cliutil.Fatal("dtpsim", 1, err)
+	}
+	fmt.Fprintln(os.Stderr, rep.Summary())
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func jobsLabel(jobs int) string {
+	if jobs <= 0 {
+		return "GOMAXPROCS"
+	}
+	return fmt.Sprint(jobs)
+}
+
+func runSingle() {
+	g, err := shared.Topology()
+	if err != nil {
+		cliutil.Fatal("dtpsim", 2, err)
 	}
 	opts := []dtp.Option{
-		dtp.WithSeed(*seedFlag),
+		dtp.WithSeed(shared.Seed),
 		dtp.WithBeaconInterval(*beaconFlag),
 	}
-	var scenario *dtp.ChaosScenario
-	if *chaosFlag != "" {
-		var err error
-		if scenario, err = dtp.LoadChaosScenario(*chaosFlag); err != nil {
-			fmt.Fprintln(os.Stderr, "dtpsim:", err)
-			os.Exit(2)
-		}
+	scenario, err := shared.LoadChaos()
+	if err != nil {
+		cliutil.Fatal("dtpsim", 2, err)
+	}
+	if scenario != nil {
 		*auditFlag = true // the campaign's zero-unexpected-violations claim needs the auditor
 	}
 	var reg *dtp.MetricsRegistry
 	var tracer *dtp.Tracer
-	if *metricsOut != "" || *traceOut != "" || *auditFlag {
+	if shared.MetricsOut != "" || shared.TraceOut != "" || *auditFlag {
 		reg = dtp.NewMetricsRegistry()
 		tracer = dtp.NewTracer(*traceCap)
-		if *traceOut != "" {
+		if shared.TraceOut != "" {
 			tracer.SetKinds() // dump requested: include per-beacon firehose kinds
 		}
 		opts = append(opts, dtp.WithTelemetry(reg, tracer))
@@ -74,26 +156,24 @@ func main() {
 	}
 	sys, err := dtp.New(g, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtpsim:", err)
-		os.Exit(1)
+		cliutil.Fatal("dtpsim", 1, err)
 	}
+	defer sys.Close()
 	fmt.Printf("topology %s: %d devices, %d links, diameter %d, bound 4TD = %.1f ns\n",
-		*topoFlag, len(g.Nodes), len(g.Links), g.Diameter(), sys.BoundNanos())
+		shared.Topo, len(g.Nodes), len(g.Links), g.Diameter(), sys.BoundNanos())
 
 	if reg != nil {
 		sys.EnableSchedulerMetrics(false) // wall-clock rate stays off: -metrics-out must be deterministic
 	}
 	var aud *dtp.Auditor
 	if *auditFlag {
-		aud = sys.EnableAudit(*auditEvery)
+		aud = sys.Audit(dtp.AuditOptions{Interval: *auditEvery})
 		fmt.Printf("auditor: checking every simulated %v against per-pair 4TD (+8T software margin)\n", *auditEvery)
 	}
 	var eng *dtp.ChaosEngine
 	if scenario != nil {
-		var err error
-		if eng, err = sys.AttachChaos(scenario, aud); err != nil {
-			fmt.Fprintln(os.Stderr, "dtpsim:", err)
-			os.Exit(2)
+		if eng, err = sys.Chaos(dtp.ChaosOptions{Scenario: scenario, Auditor: aud}); err != nil {
+			cliutil.Fatal("dtpsim", 2, err)
 		}
 		fmt.Printf("chaos: scenario %q armed: %d faults, verification deadline %v\n",
 			scenario.Name, len(scenario.Faults), eng.Deadline().Std())
@@ -101,8 +181,7 @@ func main() {
 
 	sys.Start()
 	if err := sys.RunUntilSynced(time.Second); err != nil {
-		fmt.Fprintln(os.Stderr, "dtpsim:", err)
-		os.Exit(1)
+		cliutil.Fatal("dtpsim", 1, err)
 	}
 	fmt.Printf("all %d links measured their one-way delays at t=%v\n", len(g.Links), sys.Now())
 
@@ -111,7 +190,7 @@ func main() {
 	// before the final dump, and offline analysis (dtptrace -assert-owd)
 	// needs them. The snapshot is merged into the dump by sequence number.
 	var earlyTrace []telemetry.Event
-	if *traceOut != "" {
+	if shared.TraceOut != "" {
 		earlyTrace = tracer.Events()
 	}
 
@@ -126,7 +205,7 @@ func main() {
 
 	fmt.Printf("%12s %14s %14s %10s\n", "t", "max offset", "bound", "ok")
 	var worst int64
-	for elapsed := time.Duration(0); elapsed < *durFlag; elapsed += *watchFlag {
+	for elapsed := time.Duration(0); elapsed < shared.Duration; elapsed += *watchFlag {
 		sys.Run(*watchFlag)
 		off := sys.MaxOffsetTicks()
 		if off > worst {
@@ -151,14 +230,15 @@ func main() {
 	if aud != nil {
 		fmt.Println(aud.Summary())
 	}
-	if *metricsOut != "" {
-		if err := writeFile(*metricsOut, func(f *os.File) error { return dtp.WriteMetrics(f, reg) }); err != nil {
-			fmt.Fprintln(os.Stderr, "dtpsim:", err)
-			os.Exit(1)
+	if shared.MetricsOut != "" {
+		if err := cliutil.WriteFile(shared.MetricsOut, func(w io.Writer) error {
+			return dtp.WriteMetrics(w, reg)
+		}); err != nil {
+			cliutil.Fatal("dtpsim", 1, err)
 		}
-		fmt.Printf("metrics written to %s\n", *metricsOut)
+		fmt.Printf("metrics written to %s\n", shared.MetricsOut)
 	}
-	if *traceOut != "" {
+	if shared.TraceOut != "" {
 		final := tracer.Events()
 		var events []telemetry.Event
 		for _, e := range earlyTrace {
@@ -167,11 +247,12 @@ func main() {
 			}
 		}
 		events = append(events, final...)
-		if err := writeFile(*traceOut, func(f *os.File) error { return telemetry.WriteEvents(f, events) }); err != nil {
-			fmt.Fprintln(os.Stderr, "dtpsim:", err)
-			os.Exit(1)
+		if err := cliutil.WriteFile(shared.TraceOut, func(w io.Writer) error {
+			return telemetry.WriteEvents(w, events)
+		}); err != nil {
+			cliutil.Fatal("dtpsim", 1, err)
 		}
-		fmt.Printf("trace written to %s (%d events)\n", *traceOut, len(events))
+		fmt.Printf("trace written to %s (%d events)\n", shared.TraceOut, len(events))
 	}
 	if !chaosOK {
 		os.Exit(1)
@@ -185,18 +266,4 @@ func main() {
 	if aud != nil && aud.Violations() > 0 {
 		os.Exit(1)
 	}
-}
-
-// writeFile creates path, runs fill, and closes it, returning the first
-// error encountered.
-func writeFile(path string, fill func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fill(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -25,24 +25,31 @@ import (
 	"strings"
 	"time"
 
-	"github.com/dtplab/dtp"
 	"github.com/dtplab/dtp/internal/audit"
+	"github.com/dtplab/dtp/internal/cliutil"
 	"github.com/dtplab/dtp/internal/sim"
 	"github.com/dtplab/dtp/internal/telemetry"
 	"github.com/dtplab/dtp/internal/topo"
 )
 
 var (
+	// -topo (empty default: skip the jump-chain analysis that needs the
+	// recorded topology)
+	shared = cliutil.Flags{}
+
 	traceFlag  = flag.String("trace", "", "JSONL trace file to analyze (required)")
 	metricsIn  = flag.String("metrics", "", "optional Prometheus text dump to summarize")
-	topoFlag   = flag.String("topo", "", "topology the trace was recorded on (pair | tree | star:N | chain:N | fattree:K); enables jump-chain analysis")
 	owdFlag    = flag.String("assert-owd", "", "fail unless every measured OWD lies in lo:hi port cycles (paper: 43:45 on 10 m cables)")
 	topFlag    = flag.Int("top", 5, "causality chains to print")
 	windowFlag = flag.Duration("window", 10*time.Microsecond, "max cause-effect gap between chained counter jumps")
 )
 
 func main() {
+	shared.Register(flag.CommandLine, cliutil.FlagTopo)
 	flag.Parse()
+	if err := shared.Validate(); err != nil {
+		cliutil.Fatal("dtptrace", 2, err)
+	}
 	if *traceFlag == "" {
 		fmt.Fprintln(os.Stderr, "dtptrace: -trace is required")
 		flag.Usage()
@@ -59,8 +66,8 @@ func main() {
 	}
 
 	var g *topo.Graph
-	if *topoFlag != "" {
-		parsed, err := dtp.ParseTopology(*topoFlag)
+	if shared.Topo != "" {
+		parsed, err := shared.Topology()
 		if err != nil {
 			fatal(err)
 		}

@@ -263,6 +263,11 @@ type System struct {
 	sch *sim.Scheduler
 	net *core.Network
 	cfg config
+
+	// Attached lifecycle objects, stopped by Close.
+	auditors []*Auditor
+	daemons  []*Daemon
+	closed   bool
 }
 
 // New builds a System over the topology.
@@ -322,14 +327,23 @@ func (s *System) Run(d time.Duration) { s.sch.RunFor(sim.FromStd(d)) }
 func (s *System) Now() time.Duration { return s.sch.Now().Std() }
 
 // RunUntilSynced advances time until every link has measured its delay
-// and entered the BEACON phase, or fails after max simulated time.
+// and entered the BEACON phase, or fails once max simulated time has
+// elapsed. The final step is clamped to the deadline, so the scheduler
+// never overshoots max (stepping a full millisecond past it, as earlier
+// versions did) and the error reports the exact simulated time spent.
 func (s *System) RunUntilSynced(max time.Duration) error {
-	deadline := s.sch.Now() + sim.FromStd(max)
+	start := s.sch.Now()
+	deadline := start + sim.FromStd(max)
 	for !s.net.AllSynced() {
-		if s.sch.Now() >= deadline {
-			return fmt.Errorf("dtp: network not synchronized after %v", max)
+		now := s.sch.Now()
+		if now >= deadline {
+			return fmt.Errorf("dtp: network not synchronized after %v (simulated)", (now - start).Std())
 		}
-		s.sch.RunFor(sim.Millisecond)
+		step := sim.Millisecond
+		if remaining := deadline - now; remaining < step {
+			step = remaining
+		}
+		s.sch.RunFor(step)
 	}
 	return nil
 }
@@ -450,21 +464,37 @@ func (s *System) MeasuredOWDTicks(a, b string) (int64, error) {
 // bound_violation trace events with causal context on breach.
 type Auditor = audit.Auditor
 
-// EnableAudit attaches and starts an online precision auditor checking
-// every device pair every `every` of simulated time (0 selects the
-// 100 µs default). When the System was built WithTelemetry, audit
-// counters, worst-offset/min-slack gauges, time-to-sync, and
-// reconvergence metrics land in the registry, and violations emit
-// tracer events.
-func (s *System) EnableAudit(every time.Duration) *Auditor {
+// AuditOptions configures the online auditor attached by Audit. The
+// zero value selects every default.
+type AuditOptions struct {
+	// Interval is the simulated check cadence (0 = the 100 µs default).
+	Interval time.Duration
+}
+
+// Audit attaches and starts an online precision auditor checking every
+// device pair at the configured cadence. When the System was built
+// WithTelemetry, audit counters, worst-offset/min-slack gauges,
+// time-to-sync, and reconvergence metrics land in the registry, and
+// violations emit tracer events. The auditor is stopped by Close.
+func (s *System) Audit(o AuditOptions) *Auditor {
 	cfg := audit.DefaultConfig()
-	if every > 0 {
-		cfg.Interval = sim.FromStd(every)
+	if o.Interval > 0 {
+		cfg.Interval = sim.FromStd(o.Interval)
 	}
 	a := audit.New(s.net, cfg)
 	a.Instrument(s.cfg.reg, s.cfg.tracer)
 	a.Start()
+	s.auditors = append(s.auditors, a)
 	return a
+}
+
+// EnableAudit attaches an online auditor checking every `every` of
+// simulated time (0 selects the 100 µs default).
+//
+// Deprecated: use Audit(AuditOptions{Interval: every}); this wrapper
+// remains so existing callers compile unchanged.
+func (s *System) EnableAudit(every time.Duration) *Auditor {
+	return s.Audit(AuditOptions{Interval: every})
 }
 
 // EnableSchedulerMetrics exports the event loop's own throughput
@@ -482,24 +512,45 @@ type Daemon struct {
 	d *daemon.Daemon
 }
 
-// AttachDaemon starts a DTP daemon on the named host. calEvery is the
-// PCIe calibration cadence (the paper uses ~1 s; shorter values suit
-// compressed simulations).
-func (s *System) AttachDaemon(host string, calEvery time.Duration) (*Daemon, error) {
-	dev, err := s.net.DeviceByName(host)
+// DaemonOptions configures the software daemon attached by Daemon.
+type DaemonOptions struct {
+	// Host names the device the daemon reads over (simulated) PCIe.
+	Host string
+	// CalInterval is the PCIe calibration cadence (the paper uses
+	// ~1 s; shorter values suit compressed simulations; 0 = default).
+	CalInterval time.Duration
+}
+
+// Daemon starts a DTP software daemon (§5.1) on the named host: a
+// TSC-interpolated estimate of the NIC's DTP counter. The daemon is
+// stopped by Close.
+func (s *System) Daemon(o DaemonOptions) (*Daemon, error) {
+	dev, err := s.net.DeviceByName(o.Host)
 	if err != nil {
 		return nil, err
 	}
 	cfg := s.cfg.daemon
-	if calEvery > 0 {
-		cfg.CalInterval = sim.FromStd(calEvery)
+	if o.CalInterval > 0 {
+		cfg.CalInterval = sim.FromStd(o.CalInterval)
 	}
 	d := daemon.New(dev, cfg, s.cfg.seed+uint64(dev.ID())+1000)
 	if s.cfg.reg != nil || s.cfg.tracer != nil {
 		d.Instrument(s.cfg.reg, s.cfg.tracer)
 	}
 	d.Start()
-	return &Daemon{d: d}, nil
+	wrapped := &Daemon{d: d}
+	s.daemons = append(s.daemons, wrapped)
+	return wrapped, nil
+}
+
+// AttachDaemon starts a DTP daemon on the named host with the given
+// calibration cadence.
+//
+// Deprecated: use Daemon(DaemonOptions{Host: host, CalInterval:
+// calEvery}); this wrapper remains so existing callers compile
+// unchanged.
+func (s *System) AttachDaemon(host string, calEvery time.Duration) (*Daemon, error) {
+	return s.Daemon(DaemonOptions{Host: host, CalInterval: calEvery})
 }
 
 // Counter returns the daemon's current get_DTP_counter() estimate in
@@ -545,26 +596,63 @@ type ChaosEngine = chaos.Engine
 // (the format behind dtpsim -chaos).
 func LoadChaosScenario(path string) (*ChaosScenario, error) { return chaos.Load(path) }
 
-// AttachChaos binds a fault-injection scenario to the system: every
-// fault is resolved against the topology and scheduled, chaos metrics
-// and trace events flow into the System's telemetry (when built
-// WithTelemetry), and — when an auditor is supplied — each fault
-// declares its expected-degradation window so Verify can require zero
-// violations outside declared windows. Call before or after Start; run
-// the system past engine.Deadline() and then engine.Verify().
-func (s *System) AttachChaos(sc *ChaosScenario, aud *Auditor) (*ChaosEngine, error) {
-	eng, err := chaos.NewEngine(s.net, sc, s.cfg.seed)
+// ChaosOptions configures the fault-injection engine attached by Chaos.
+type ChaosOptions struct {
+	// Scenario is the declarative fault campaign to arm (required).
+	Scenario *ChaosScenario
+	// Auditor, when set, receives each fault's expected-degradation
+	// window so Verify can require zero violations outside declared
+	// windows.
+	Auditor *Auditor
+}
+
+// Chaos binds a fault-injection scenario to the system: every fault is
+// resolved against the topology and scheduled, chaos metrics and trace
+// events flow into the System's telemetry (when built WithTelemetry).
+// Call before or after Start; run the system past engine.Deadline()
+// and then engine.Verify().
+func (s *System) Chaos(o ChaosOptions) (*ChaosEngine, error) {
+	if o.Scenario == nil {
+		return nil, fmt.Errorf("dtp: ChaosOptions.Scenario is required")
+	}
+	eng, err := chaos.NewEngine(s.net, o.Scenario, s.cfg.seed)
 	if err != nil {
 		return nil, err
 	}
 	eng.Instrument(s.cfg.reg, s.cfg.tracer)
-	if aud != nil {
-		eng.BindAuditor(aud)
+	if o.Auditor != nil {
+		eng.BindAuditor(o.Auditor)
 	}
 	if err := eng.Schedule(); err != nil {
 		return nil, err
 	}
 	return eng, nil
+}
+
+// AttachChaos binds a fault-injection scenario to the system.
+//
+// Deprecated: use Chaos(ChaosOptions{Scenario: sc, Auditor: aud}); this
+// wrapper remains so existing callers compile unchanged.
+func (s *System) AttachChaos(sc *ChaosScenario, aud *Auditor) (*ChaosEngine, error) {
+	return s.Chaos(ChaosOptions{Scenario: sc, Auditor: aud})
+}
+
+// Close stops everything the System started on top of the simulation —
+// attached auditors and daemons — leaving the network and scheduler
+// intact for inspection. It is idempotent; a closed System can still
+// be read (counters, offsets, graphs) but should not be advanced.
+func (s *System) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, a := range s.auditors {
+		a.Stop()
+	}
+	for _, d := range s.daemons {
+		d.d.Stop()
+	}
+	return nil
 }
 
 // RunUntil advances simulated time to the given absolute simulated

@@ -328,6 +328,78 @@ func TestParseTopologyValidation(t *testing.T) {
 	}
 }
 
+// TestRunUntilSyncedClamp: the sync wait never steps past its deadline
+// — the final RunFor is clamped to the remaining budget — and a timeout
+// reports the actual simulated time spent, not the requested maximum
+// rounded up to a whole step.
+func TestRunUntilSyncedClamp(t *testing.T) {
+	sys, err := New(Pair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: cannot sync, so the full budget elapses. The odd
+	// fraction of a millisecond would have been overshot by the old
+	// fixed 1 ms stepping.
+	max := 10*time.Millisecond + 300*time.Microsecond
+	err = sys.RunUntilSynced(max)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if got := sys.Now(); got != max {
+		t.Fatalf("scheduler ran %v, budget %v (overshoot)", got, max)
+	}
+	if !strings.Contains(err.Error(), max.String()) {
+		t.Fatalf("error %q does not report the elapsed %v", err, max)
+	}
+}
+
+// TestOptionStructLifecycle: the option-struct constructors (Audit,
+// Daemon, Chaos) mirror the deprecated wrappers, and Close stops what
+// they started — idempotently.
+func TestOptionStructLifecycle(t *testing.T) {
+	sys, err := New(Pair(), WithSeed(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := sys.Audit(AuditOptions{Interval: 50 * time.Microsecond})
+	d, err := sys.Daemon(DaemonOptions{Host: "h0", CalInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	if err := sys.RunUntilSynced(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100 * time.Millisecond)
+	if aud.Checks() == 0 {
+		t.Fatal("auditor never checked")
+	}
+	if aud.Violations() != 0 {
+		t.Fatalf("%d violations on a healthy pair", aud.Violations())
+	}
+	if d.Counter() == 0 {
+		t.Fatal("daemon never calibrated")
+	}
+	if _, err := sys.Daemon(DaemonOptions{Host: "zz"}); err == nil {
+		t.Fatal("phantom daemon host accepted")
+	}
+	if _, err := sys.Chaos(ChaosOptions{}); err == nil {
+		t.Fatal("ChaosOptions without a Scenario accepted")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// A closed System stops auditing: advancing time adds no checks.
+	n := aud.Checks()
+	sys.Run(10 * time.Millisecond)
+	if got := aud.Checks(); got != n {
+		t.Fatalf("auditor still running after Close (%d -> %d checks)", n, got)
+	}
+}
+
 // TestChaosOnFacade: the storm campaign runs through the public API —
 // scenario from JSON, AttachChaos with an auditor, Verify past the
 // deadline — and the chaos metrics appear in the registry export.

@@ -1,0 +1,86 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// renderDeterministic marshals everything a campaign publishes as
+// machine-readable output: per-run JSONL plus the aggregate JSON.
+func renderDeterministic(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, rep.Results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAggregateJSON(&b, rep.Aggregate); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestDeterminismAcrossWorkerCounts is the campaign's core contract:
+// the same grid run with one worker and with eight produces
+// byte-identical aggregate JSON and identical per-run Results, because
+// results merge in grid order, never completion order. CI runs this
+// under -race as well (go test -race ./internal/campaign).
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	g := Grid{
+		Name:      "det",
+		Topos:     []string{"pair", "chain:3"},
+		Seeds:     []uint64{1, 2, 3, 4},
+		Durations: []Duration{msec(2)},
+		Wander:    true,
+	}
+	serial, err := Run(g, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(g, Options{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Jobs != 1 || parallel.Jobs != 8 {
+		t.Fatalf("worker counts %d/%d, want 1/8", serial.Jobs, parallel.Jobs)
+	}
+	a, b := renderDeterministic(t, serial), renderDeterministic(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("output diverged between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s", a, b)
+	}
+	// Field-level check too, so a future json:"-" regression on a new
+	// nondeterministic field can't hide behind identical rendering.
+	for i := range serial.Results {
+		sr, pr := serial.Results[i], parallel.Results[i]
+		sr.Wall, pr.Wall = 0, 0
+		if sr != pr {
+			t.Fatalf("run %d diverged:\n jobs=1: %+v\n jobs=8: %+v", i, sr, pr)
+		}
+	}
+}
+
+// TestDeterminismRepeatedRuns pins the weaker but also required
+// property: re-running the same grid with the same worker count is
+// byte-stable.
+func TestDeterminismRepeatedRuns(t *testing.T) {
+	g := Grid{
+		Topos:     []string{"pair"},
+		Seeds:     []uint64{1, 2},
+		Durations: []Duration{msec(2)},
+	}
+	r1, err := Run(g, Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g, Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderDeterministic(t, r1), renderDeterministic(t, r2)) {
+		t.Fatal("same grid, same jobs: output not byte-stable across runs")
+	}
+}

@@ -1,0 +1,225 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dtplab/dtp"
+	"github.com/dtplab/dtp/internal/par"
+	"github.com/dtplab/dtp/internal/stats"
+)
+
+// Options control campaign execution. They affect scheduling only —
+// never the per-run measurements — so any Jobs value produces the same
+// Results.
+type Options struct {
+	// Jobs is the worker-pool width (<= 0 selects GOMAXPROCS).
+	Jobs int
+	// OnResult, when set, is called once per run in grid order (an
+	// ordered reassembly buffer holds completed runs until their turn),
+	// e.g. to stream JSONL while the campaign executes.
+	OnResult func(*Result)
+}
+
+// Report is a completed campaign: the expanded grid, per-run Results in
+// grid order, and the deterministic aggregate. Wall and Jobs are the
+// host-dependent execution record, kept out of all JSON output.
+type Report struct {
+	Grid      Grid
+	Points    []Point
+	Results   []Result
+	Aggregate Aggregate
+	Jobs      int
+	Wall      time.Duration
+}
+
+// OK reports whether every run passed.
+func (rep *Report) OK() bool {
+	return rep.Aggregate.Failed == 0
+}
+
+// Run expands the grid and executes every point across the worker
+// pool. Per-run failures land in their Result's Err field rather than
+// aborting the campaign; the returned error is reserved for grid
+// validation problems.
+func Run(g Grid, opts Options) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g = g.withDefaults()
+	points := g.Expand()
+	jobs := par.Jobs(opts.Jobs)
+
+	start := time.Now()
+	results := make([]Result, len(points))
+	var emit func(i int)
+	if opts.OnResult != nil {
+		emit = orderedEmitter(results, opts.OnResult)
+	}
+	// Map's worker indices arrive in any order; results land by index,
+	// so the merge is in grid order no matter how execution interleaves.
+	_, _ = par.Map(jobs, len(points), func(i int) (struct{}, error) {
+		results[i] = RunPoint(g, points[i])
+		if emit != nil {
+			emit(i)
+		}
+		return struct{}{}, nil
+	})
+	rep := &Report{
+		Grid: g, Points: points, Results: results,
+		Aggregate: Aggregated(g.Name, results),
+		Jobs:      jobs, Wall: time.Since(start),
+	}
+	return rep, nil
+}
+
+// orderedEmitter returns a completion hook that releases results to fn
+// strictly in grid order: run i is held until runs 0..i-1 have been
+// emitted. Safe for concurrent callers.
+func orderedEmitter(results []Result, fn func(*Result)) func(i int) {
+	var mu sync.Mutex
+	done := make([]bool, len(results))
+	next := 0
+	return func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		for next < len(results) && done[next] {
+			fn(&results[next])
+			next++
+		}
+	}
+}
+
+// RunPoint executes one grid point to completion and returns its
+// Result. Exported so tests and benchmarks can run single points; the
+// campaign's determinism rests on this function depending only on
+// (g, p), never on shared state.
+func RunPoint(g Grid, p Point) (res Result) {
+	res = Result{Point: p, ChaosOK: true}
+	wallStart := time.Now()
+	defer func() { res.Wall = time.Since(wallStart) }()
+
+	topo, err := dtp.ParseTopology(p.Topo)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	opts := []dtp.Option{
+		dtp.WithSeed(p.Seed),
+		dtp.WithBeaconInterval(p.Beacon),
+	}
+	if g.Wander {
+		opts = append(opts, dtp.WithWander(10*time.Millisecond, 100))
+	}
+	if g.BER > 0 {
+		opts = append(opts, dtp.WithBER(g.BER), dtp.WithParity())
+	}
+	var scenario *dtp.ChaosScenario
+	if p.Chaos != "" {
+		if scenario, err = dtp.LoadChaosScenario(p.Chaos); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+	sys, err := dtp.New(topo, opts...)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	defer sys.Close()
+
+	aud := sys.Audit(dtp.AuditOptions{Interval: g.AuditEvery.Std()})
+	var eng *dtp.ChaosEngine
+	if scenario != nil {
+		if eng, err = sys.Chaos(dtp.ChaosOptions{Scenario: scenario, Auditor: aud}); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+
+	sys.Start()
+	if err := sys.RunUntilSynced(g.SyncTimeout.Std()); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Synced = true
+	res.TimeToSyncUs = sys.Now().Seconds() * 1e6
+
+	// OWD range across every link direction, measured during INIT.
+	res.OWDMinTicks, res.OWDMaxTicks = owdRange(sys)
+
+	switch p.Load {
+	case "mtu":
+		sys.SetUniformLoad(1522)
+	case "jumbo":
+		sys.SetUniformLoad(9022)
+	}
+
+	// Sample the worst pairwise offset at a fixed simulated cadence;
+	// the percentiles summarize the sampled envelope.
+	sample := g.SamplePeriod.Std()
+	summary := stats.NewSummary(0)
+	for elapsed := time.Duration(0); elapsed < p.Duration.Std(); elapsed += sample {
+		sys.Run(sample)
+		off := sys.MaxOffsetTicks()
+		if off > res.MaxOffsetTicks {
+			res.MaxOffsetTicks = off
+		}
+		summary.Add(float64(off))
+	}
+	res.P50OffsetTicks = summary.Quantile(0.5)
+	res.P99OffsetTicks = summary.Quantile(0.99)
+	res.BoundTicks = sys.BoundTicks()
+	res.WithinBound = res.MaxOffsetTicks <= res.BoundTicks
+	res.MaxOffsetNs = float64(res.MaxOffsetTicks) * sys.TickNanos()
+	res.BoundNs = sys.BoundNanos()
+
+	if eng != nil {
+		// The sampling window may end before the last fault clears; the
+		// campaign verdict is only valid past the scenario deadline.
+		sys.RunUntil(eng.Deadline())
+		if err := eng.Verify(); err != nil {
+			res.ChaosOK = false
+			res.ChaosErr = err.Error()
+		}
+	}
+	res.AuditChecks = aud.Checks()
+	res.AuditViolations = aud.Violations()
+	res.AuditExcused = aud.ExcusedViolations()
+	return res
+}
+
+// owdRange scans every link direction for the one-way delay its port
+// measured during INIT, in counter units.
+func owdRange(sys *dtp.System) (lo, hi int64) {
+	g := sys.Graph()
+	first := true
+	for _, l := range g.Links {
+		a, b := g.Nodes[l.A].Name, g.Nodes[l.B].Name
+		for _, dir := range [2][2]string{{a, b}, {b, a}} {
+			owd, err := sys.MeasuredOWDTicks(dir[0], dir[1])
+			if err != nil || owd < 0 {
+				continue
+			}
+			if first || owd < lo {
+				lo = owd
+			}
+			if first || owd > hi {
+				hi = owd
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// String renders a Point's one-line human label, prefixed by the grid
+// name when set.
+func (g Grid) Label(p Point) string {
+	if g.Name != "" {
+		return fmt.Sprintf("%s[%d] %s", g.Name, p.Index, p)
+	}
+	return fmt.Sprintf("[%d] %s", p.Index, p)
+}

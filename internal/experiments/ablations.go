@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/dtplab/dtp/internal/core"
+	"github.com/dtplab/dtp/internal/par"
 	"github.com/dtplab/dtp/internal/phy"
 	"github.com/dtplab/dtp/internal/sim"
 	"github.com/dtplab/dtp/internal/topo"
@@ -20,18 +21,19 @@ type AlphaRow struct {
 
 // AblationAlpha sweeps α, demonstrating the design point of §3.3: too
 // small an α lets the measured one-way delay exceed the true delay,
-// which drives the global counter faster than any oscillator.
+// which drives the global counter faster than any oscillator. Points
+// fan out across o.Jobs workers and merge in input order.
 func AblationAlpha(o Options, alphas []int64) ([]AlphaRow, error) {
 	o = o.withDefaults(sim.Second, 100*sim.Microsecond)
-	var rows []AlphaRow
-	for _, a := range alphas {
+	return par.Map(o.Jobs, len(alphas), func(i int) (AlphaRow, error) {
+		a := alphas[i]
 		sch := sim.NewScheduler()
 		cfg := core.DefaultConfig()
 		cfg.AlphaUnits = a
 		n, err := core.NewNetwork(sch, o.Seed, topo.Pair(), cfg,
 			core.WithPPM(map[string]float64{"h0": 100, "h1": -100}))
 		if err != nil {
-			return nil, err
+			return AlphaRow{}, err
 		}
 		n.Start()
 		sch.Run(10 * sim.Millisecond)
@@ -53,9 +55,8 @@ func AblationAlpha(o Options, alphas []int64) ([]AlphaRow, error) {
 		elapsed := (sch.Now() - t0).Seconds()
 		fastest := 156.25e6 * (1 + 100e-6) // +100 ppm oscillator
 		ratchet := (gained/elapsed/fastest - 1) * 1e6
-		rows = append(rows, AlphaRow{Alpha: a, RatchetPPM: ratchet, MaxOffsetTicks: worst})
-	}
-	return rows, nil
+		return AlphaRow{Alpha: a, RatchetPPM: ratchet, MaxOffsetTicks: worst}, nil
+	})
 }
 
 // BeaconIntervalRow is one point of the resynchronization-interval
@@ -67,11 +68,12 @@ type BeaconIntervalRow struct {
 }
 
 // AblationBeaconInterval sweeps the beacon interval across the paper's
-// operating points and beyond the 5000-tick analysis limit.
+// operating points and beyond the 5000-tick analysis limit. Points fan
+// out across o.Jobs workers and merge in input order.
 func AblationBeaconInterval(o Options, intervals []uint64) ([]BeaconIntervalRow, error) {
 	o = o.withDefaults(sim.Second, 100*sim.Microsecond)
-	var rows []BeaconIntervalRow
-	for _, iv := range intervals {
+	return par.Map(o.Jobs, len(intervals), func(i int) (BeaconIntervalRow, error) {
+		iv := intervals[i]
 		sch := sim.NewScheduler()
 		cfg := core.DefaultConfig()
 		cfg.BeaconIntervalTicks = iv
@@ -79,7 +81,7 @@ func AblationBeaconInterval(o Options, intervals []uint64) ([]BeaconIntervalRow,
 		n, err := core.NewNetwork(sch, o.Seed, topo.Pair(), cfg,
 			core.WithPPM(map[string]float64{"h0": 100, "h1": -100}))
 		if err != nil {
-			return nil, err
+			return BeaconIntervalRow{}, err
 		}
 		n.Start()
 		sch.Run(10 * sim.Millisecond)
@@ -95,9 +97,8 @@ func AblationBeaconInterval(o Options, intervals []uint64) ([]BeaconIntervalRow,
 				worst = v
 			}
 		}
-		rows = append(rows, BeaconIntervalRow{IntervalTicks: iv, MaxOffsetTicks: worst})
-	}
-	return rows, nil
+		return BeaconIntervalRow{IntervalTicks: iv, MaxOffsetTicks: worst}, nil
+	})
 }
 
 // SyncEResult compares free-running oscillators against SyncE-style
@@ -186,16 +187,18 @@ type MixedSpeedRow struct {
 
 // MixedSpeedSweep runs 10G-host chains whose core link is 1/10/40/100
 // GbE, counters in common base units (§7, Table 2's Delta column).
+// Points fan out across o.Jobs workers and merge in speed order.
 func MixedSpeedSweep(o Options) ([]MixedSpeedRow, error) {
 	o = o.withDefaults(500*sim.Millisecond, 50*sim.Microsecond)
-	var rows []MixedSpeedRow
-	for _, coreSpeed := range []phy.Speed{phy.Speed1G, phy.Speed10G, phy.Speed40G, phy.Speed100G} {
+	coreSpeeds := []phy.Speed{phy.Speed1G, phy.Speed10G, phy.Speed40G, phy.Speed100G}
+	return par.Map(o.Jobs, len(coreSpeeds), func(i int) (MixedSpeedRow, error) {
+		coreSpeed := coreSpeeds[i]
 		sch := sim.NewScheduler()
 		speeds := map[int]phy.Speed{0: phy.Speed10G, 1: coreSpeed, 2: phy.Speed10G}
 		n, err := core.NewNetwork(sch, o.Seed, topo.Chain(3), core.MixedSpeedConfig(),
 			core.WithLinkSpeeds(speeds))
 		if err != nil {
-			return nil, err
+			return MixedSpeedRow{}, err
 		}
 		n.Start()
 		sch.Run(10 * sim.Millisecond)
@@ -213,16 +216,15 @@ func MixedSpeedSweep(o Options) ([]MixedSpeedRow, error) {
 			}
 		}
 		bound := int64(0)
-		for i := 0; i < 3; i++ {
-			bound += 4 * phy.ProfileFor(speeds[i]).Delta
+		for j := 0; j < 3; j++ {
+			bound += 4 * phy.ProfileFor(speeds[j]).Delta
 		}
-		rows = append(rows, MixedSpeedRow{
+		return MixedSpeedRow{
 			Core: coreSpeed, MaxUnits: worst, BoundUnits: bound,
 			MaxNs:   float64(worst) * float64(phy.BaseTickFs) / 1e6,
 			BoundNs: float64(bound) * float64(phy.BaseTickFs) / 1e6,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // MasterModeResult compares §5.4 follow-the-master mode against the
@@ -297,18 +299,19 @@ type CDCRow struct {
 
 // AblationCDC sweeps the synchronization-FIFO depth: the only random
 // element on an idle link (§2.5). Deeper FIFOs widen both the OWD
-// measurement and the offset envelope.
+// measurement and the offset envelope. Points fan out across o.Jobs
+// workers and merge in input order.
 func AblationCDC(o Options, depths []int) ([]CDCRow, error) {
 	o = o.withDefaults(sim.Second, 100*sim.Microsecond)
-	var rows []CDCRow
-	for _, depth := range depths {
+	return par.Map(o.Jobs, len(depths), func(i int) (CDCRow, error) {
+		depth := depths[i]
 		sch := sim.NewScheduler()
 		cfg := core.DefaultConfig()
 		cfg.CDCMaxExtraTicks = depth
 		n, err := core.NewNetwork(sch, o.Seed, topo.Pair(), cfg,
 			core.WithPPM(map[string]float64{"h0": 100, "h1": -100}))
 		if err != nil {
-			return nil, err
+			return CDCRow{}, err
 		}
 		n.Start()
 		sch.Run(10 * sim.Millisecond)
@@ -331,10 +334,9 @@ func AblationCDC(o Options, depths []int) ([]CDCRow, error) {
 				worst = v
 			}
 		}
-		rows = append(rows, CDCRow{
+		return CDCRow{
 			ExtraTicks: depth, MaxOffsetTicks: worst,
 			MeasuredOWDMin: owdMin, MeasuredOWDMax: owdMax,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -23,6 +23,10 @@ type Options struct {
 	Duration sim.Time
 	// SamplePeriod is the offset sampling cadence. Zero = default.
 	SamplePeriod sim.Time
+	// Jobs is the worker-pool width for sweeps whose points are
+	// independent simulations (<= 0 selects GOMAXPROCS). Results are
+	// merged in point order, so the output is identical for any value.
+	Jobs int
 }
 
 func (o Options) withDefaults(dur, sample sim.Time) Options {

@@ -7,6 +7,7 @@ import (
 	"github.com/dtplab/dtp/internal/fabric"
 	"github.com/dtplab/dtp/internal/gps"
 	"github.com/dtplab/dtp/internal/ntp"
+	"github.com/dtplab/dtp/internal/par"
 	"github.com/dtplab/dtp/internal/phy"
 	"github.com/dtplab/dtp/internal/ptp"
 	"github.com/dtplab/dtp/internal/sim"
@@ -128,19 +129,20 @@ type Table2Row struct {
 // Table2 reproduces Table 2: PHY parameters per speed, with DTP run at
 // each speed counting in 0.32 ns base units. 1 GbE uses the fragmented
 // message adaptation of §7 (four ordered-set fragments per message).
+// The per-speed runs are independent simulations and fan out across
+// o.Jobs workers; rows merge in profile order.
 func Table2(o Options) ([]Table2Row, error) {
 	o = o.withDefaults(500*sim.Millisecond, 20*sim.Microsecond)
-	var rows []Table2Row
-	for _, p := range phy.Profiles {
+	return par.Map(o.Jobs, len(phy.Profiles), func(i int) (Table2Row, error) {
+		p := phy.Profiles[i]
 		row := Table2Row{Profile: p, BoundNs: 4 * float64(p.PeriodFs) / 1e6}
 		worst, err := runSpeedPair(o, p)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		row.MeasuredBoundNs = worst
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func runSpeedPair(o Options, p phy.Profile) (float64, error) {
@@ -190,15 +192,17 @@ type BoundSweepRow struct {
 
 // BoundSweep measures the end-to-end offset across chains of increasing
 // length, validating the 4TD scaling claim including the fat-tree
-// diameter (6 hops -> 153.6 ns).
+// diameter (6 hops -> 153.6 ns). Each chain length is an independent
+// simulation; the sweep fans out across o.Jobs workers and merges rows
+// in hop order.
 func BoundSweep(o Options, maxHops int) ([]BoundSweepRow, error) {
 	o = o.withDefaults(500*sim.Millisecond, 100*sim.Microsecond)
-	var rows []BoundSweepRow
-	for hops := 1; hops <= maxHops; hops++ {
+	return par.Map(o.Jobs, maxHops, func(i int) (BoundSweepRow, error) {
+		hops := i + 1
 		sch := sim.NewScheduler()
 		n, err := core.NewNetwork(sch, o.Seed+uint64(hops), topo.Chain(hops), core.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return BoundSweepRow{}, err
 		}
 		n.Start()
 		sch.Run(10 * sim.Millisecond)
@@ -216,14 +220,13 @@ func BoundSweep(o Options, maxHops int) ([]BoundSweepRow, error) {
 			}
 		}
 		bound := int64(4 * hops)
-		rows = append(rows, BoundSweepRow{
+		return BoundSweepRow{
 			Hops: hops, MaxTicks: worst, BoundTicks: bound,
 			WithinBound: worst <= bound,
 			MaxOffsetNs: float64(worst) * 6.4, BoundNs: float64(bound) * 6.4,
 			SettledPairs: n.AllSynced(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PTPAblationResult compares transparent-clock models under heavy load.
@@ -283,19 +286,27 @@ func AblationTCModes(o Options) (*PTPAblationResult, error) {
 		}
 		return worst.MaxAbs(), nil
 	}
-	var res PTPAblationResult
-	var err error
-	if res.RealisticWorstNs, err = run(fabric.TCRealistic, false); err != nil {
+	// The four TC configurations are independent deployments; fan them
+	// out and merge by position.
+	modes := []struct {
+		tc       fabric.TCMode
+		priority bool
+	}{
+		{fabric.TCRealistic, false},
+		{fabric.TCPerfect, false},
+		{fabric.TCOff, false},
+		{fabric.TCRealistic, true},
+	}
+	worst, err := par.Map(o.Jobs, len(modes), func(i int) (float64, error) {
+		return run(modes[i].tc, modes[i].priority)
+	})
+	if err != nil {
 		return nil, err
 	}
-	if res.PerfectWorstNs, err = run(fabric.TCPerfect, false); err != nil {
-		return nil, err
-	}
-	if res.OffWorstNs, err = run(fabric.TCOff, false); err != nil {
-		return nil, err
-	}
-	if res.PriorityWorstNs, err = run(fabric.TCRealistic, true); err != nil {
-		return nil, err
-	}
-	return &res, nil
+	return &PTPAblationResult{
+		RealisticWorstNs: worst[0],
+		PerfectWorstNs:   worst[1],
+		OffWorstNs:       worst[2],
+		PriorityWorstNs:  worst[3],
+	}, nil
 }
