@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos campaign
+.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos campaign serve-bench
 
 all: build vet test
 
@@ -56,6 +56,16 @@ campaign:
 	go test -race -count=1 ./internal/campaign ./internal/par ./internal/cliutil
 	go run ./cmd/dtpsim -topo chain:3 -duration 5ms -sweep-seeds 4 -jobs 4 > /dev/null
 	go run ./cmd/dtpsim -campaign examples/campaign/smoke.json -jobs 4 > /dev/null
+
+# Time-service fast path: the seqlock/clock tests under the race
+# detector, then cmd/dtpload calibrates a serving plane in-sim and
+# hammers the lock-free read path from every core, refreshing
+# BENCH_6.json. The 1M reads/sec floor is only asserted on hosts with
+# >= 8 CPUs (the BENCH_5 policy), so laptops and small CI runners
+# still produce records without failing.
+serve-bench:
+	go test -race -count=1 ./internal/timesvc
+	go run ./cmd/dtpload -duration 300ms -hammer 2s -assert -out BENCH_6.json
 
 # Regenerate every table and figure (long; see EXPERIMENTS.md).
 experiments:

@@ -29,11 +29,13 @@ import (
 	"sort"
 	"time"
 
+	"github.com/dtplab/dtp/internal/audit"
 	"github.com/dtplab/dtp/internal/cliutil"
 	"github.com/dtplab/dtp/internal/core"
 	"github.com/dtplab/dtp/internal/daemon"
 	"github.com/dtplab/dtp/internal/sim"
 	"github.com/dtplab/dtp/internal/telemetry"
+	"github.com/dtplab/dtp/internal/timesvc"
 )
 
 var (
@@ -44,6 +46,11 @@ var (
 	listenFlag = flag.String("listen", "", "serve /metrics and /trace on this address (e.g. :9090) and keep running")
 	traceFlag  = flag.Int("trace-cap", 16384, "protocol trace ring capacity (events)")
 	pprofFlag  = flag.Bool("pprof", false, "with -listen, also expose /debug/pprof/* and /debug/vars")
+
+	serveTimeFlag = flag.Bool("serve-time", false,
+		"attach the internal/timesvc serving plane: TrueTime-style interval clocks on every host, served at /time/<host>/now with -listen")
+	loadQPSFlag = flag.Float64("load-qps", 0,
+		"with -serve-time, drive Poisson read load at this mean rate per host from inside the simulation")
 )
 
 func main() {
@@ -73,13 +80,17 @@ func main() {
 	tracer.SetKinds() // demo binary: include per-beacon firehose kinds in /trace
 
 	// Bind the listener before simulating so a bad -listen fails fast.
+	// The mux outlives this block: -serve-time registers /time/<host>/
+	// handlers after the simulation finishes (ServeMux is safe for
+	// concurrent Handle/ServeHTTP).
 	var ln net.Listener
+	var mux *http.ServeMux
 	if *listenFlag != "" {
 		ln, err = net.Listen("tcp", *listenFlag)
 		if err != nil {
 			cliutil.Fatal("dtpd", 1, err)
 		}
-		mux := http.NewServeMux()
+		mux = http.NewServeMux()
 		mux.Handle("/", telemetry.Handler(reg, tracer))
 		if *pprofFlag {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -140,6 +151,33 @@ func main() {
 	}
 	b.Start()
 
+	// -serve-time: the serving plane (§5 + TrueTime-style intervals) on
+	// every follower host, backed by a live 4TD auditor, optionally with
+	// an in-sim Poisson read load per host.
+	services := map[string]*timesvc.Service{}
+	loads := map[string]*timesvc.Load{}
+	// hosts gets sorted for display later; keep the served set stable.
+	served := append([]string{}, hosts[1:]...)
+	sort.Strings(served)
+	if *serveTimeFlag {
+		aud := audit.New(n, audit.Config{})
+		aud.Instrument(reg, tracer)
+		aud.Start()
+		for _, h := range served {
+			svc := timesvc.NewService(daemons[h], followers[h], aud, timesvc.ServiceConfig{})
+			svc.Instrument(reg, tracer)
+			svc.Start()
+			services[h] = svc
+			if *loadQPSFlag > 0 {
+				ld := timesvc.NewLoad(svc, sim.NewRNG(shared.Seed, "timesvc-load/"+h),
+					timesvc.LoadConfig{QPS: *loadQPSFlag})
+				ld.Instrument(reg)
+				ld.Start()
+				loads[h] = ld
+			}
+		}
+	}
+
 	sch.RunFor(sim.FromStd(shared.Duration))
 
 	fmt.Println("== DTP daemon offsets (estimate - hardware counter), ticks")
@@ -185,6 +223,60 @@ func main() {
 	}
 	fmt.Printf("\n== End-to-end software precision: worst daemon-vs-daemon error %.1f ticks (= %.1f ns; paper bound 4TD+8T)\n",
 		worst.Value(), worst.Value()*6.4)
+
+	if *serveTimeFlag {
+		fmt.Println("\n== Time service (internal/timesvc): TrueTime-style intervals per host")
+		fmt.Printf("%-5s %9s %8s %12s %10s %8s\n", "host", "publishes", "degraded", "width(ns)", "reads", "errors")
+		for _, h := range served {
+			svc := services[h]
+			w, covered, rerr := svc.ReadCheck()
+			width := fmt.Sprintf("%.1f", w/1000)
+			if rerr != nil {
+				width = "stale"
+			} else if !covered {
+				width += "!"
+			}
+			var reads, rerrs uint64
+			if ld := loads[h]; ld != nil {
+				reads, rerrs = ld.Reads(), ld.Errors()
+			}
+			fmt.Printf("%-5s %9d %8d %12s %10d %8d\n",
+				h, svc.Publishes(), svc.DegradedTicks(), width, reads, rerrs)
+		}
+
+		// With -listen, keep serving /time/<host>/now past the simulated
+		// run: the final snapshot is re-anchored on the host's wall clock
+		// (ratio 1, generous drift, no age cutoff) so intervals keep
+		// advancing — and honestly widening — with no live calibration
+		// behind them.
+		if mux != nil {
+			for _, h := range served {
+				svc := services[h]
+				sn, ok := svc.Store().Read()
+				if !ok {
+					continue
+				}
+				utc, iv, rerr := svc.Clock().At(int64(daemons[h].TSC().Now()))
+				if rerr != nil {
+					continue
+				}
+				wallStore := &timesvc.Store{}
+				wallTb := timesvc.NewWallTimebase(0)
+				wallStore.Publish(timesvc.Snapshot{
+					Epoch:     sn.Epoch + 1,
+					AnchorRaw: wallTb.Raw(),
+					AnchorUTC: utc,
+					Ratio:     1,
+					BoundPs:   iv.HalfWidthPs(),
+					DriftPPM:  50, // undisciplined wall clock
+					MaxAgePs:  0,  // serve indefinitely, ever wider
+				})
+				mux.Handle("/time/"+h+"/", http.StripPrefix("/time/"+h,
+					timesvc.Handler(h, timesvc.NewClock(wallStore, wallTb))))
+			}
+			fmt.Printf("time service continues on http://%s/time/<host>/now (wall-extrapolated)\n", ln.Addr())
+		}
+	}
 
 	if shared.MetricsOut != "" {
 		if err := cliutil.WriteFile(shared.MetricsOut, func(w io.Writer) error {

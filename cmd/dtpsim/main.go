@@ -44,6 +44,7 @@ var (
 	traceCap   = flag.Int("trace-cap", 1<<20, "trace ring capacity; firehose kinds evict one-time INIT events from small rings")
 	sweepSeeds = flag.Int("sweep-seeds", 1, "campaign mode: run N consecutive seeds starting at -seed")
 	gridFlag   = flag.String("campaign", "", "campaign mode: run the grid declared in this JSON file")
+	timeSvc    = flag.Bool("time-service", false, "campaign mode: attach the serving plane and probe every served interval against ground truth")
 )
 
 func main() {
@@ -75,15 +76,16 @@ func runCampaign() {
 		g = *loaded
 	} else {
 		g = campaign.Grid{
-			Name:       fmt.Sprintf("sweep-%s", shared.Topo),
-			Topos:      []string{shared.Topo},
-			Seeds:      campaign.SeedSweep(shared.Seed, *sweepSeeds),
-			Loads:      []string{*loadFlag},
-			Beacons:    []uint64{*beaconFlag},
-			Durations:  []campaign.Duration{campaign.Duration(shared.Duration)},
-			Wander:     *wanderFlag,
-			BER:        *berFlag,
-			AuditEvery: campaign.Duration(*auditEvery),
+			Name:        fmt.Sprintf("sweep-%s", shared.Topo),
+			Topos:       []string{shared.Topo},
+			Seeds:       campaign.SeedSweep(shared.Seed, *sweepSeeds),
+			Loads:       []string{*loadFlag},
+			Beacons:     []uint64{*beaconFlag},
+			Durations:   []campaign.Duration{campaign.Duration(shared.Duration)},
+			Wander:      *wanderFlag,
+			BER:         *berFlag,
+			TimeService: *timeSvc,
+			AuditEvery:  campaign.Duration(*auditEvery),
 		}
 		if shared.Chaos != "" {
 			g.Chaos = []string{shared.Chaos}

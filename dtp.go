@@ -265,9 +265,10 @@ type System struct {
 	cfg config
 
 	// Attached lifecycle objects, stopped by Close.
-	auditors []*Auditor
-	daemons  []*Daemon
-	closed   bool
+	auditors   []*Auditor
+	daemons    []*Daemon
+	timeplanes []*TimePlane
+	closed     bool
 }
 
 // New builds a System over the topology.
@@ -646,6 +647,9 @@ func (s *System) Close() error {
 		return nil
 	}
 	s.closed = true
+	for _, tp := range s.timeplanes {
+		tp.stop()
+	}
 	for _, a := range s.auditors {
 		a.Stop()
 	}

@@ -1,0 +1,207 @@
+package dtp
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/dtplab/dtp/internal/sim"
+)
+
+func TestTimePlaneServesCoveredIntervals(t *testing.T) {
+	reg := NewMetricsRegistry()
+	sys := newSynced(t, PaperTree(), WithSeed(31), WithTelemetry(reg, NewTracer(0)))
+	defer sys.Close()
+
+	tp, err := sys.TimePlane(TimePlaneOptions{CalInterval: 10 * time.Millisecond, LoadQPS: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Broadcaster() != "s4" {
+		t.Fatalf("broadcaster = %q, want the first host s4", tp.Broadcaster())
+	}
+	if got := len(tp.Hosts()); got != 7 {
+		t.Fatalf("%d served hosts, want 7 (s5-s11)", got)
+	}
+
+	sys.Run(time.Second)
+	for _, h := range tp.Hosts() {
+		svc, err := tp.Service(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if svc.Publishes() < 50 {
+			t.Fatalf("%s: only %d publishes over 1 s", h, svc.Publishes())
+		}
+		w, covered, err := tp.ReadCheck(h)
+		if err != nil {
+			t.Fatalf("%s: read failed: %v", h, err)
+		}
+		if !covered {
+			t.Fatalf("%s: true time outside served interval (width %.0f ps)", h, w)
+		}
+		if ld := tp.Load(h); ld == nil || ld.Reads() < 100 {
+			t.Fatalf("%s: in-sim load barely ran", h)
+		}
+	}
+
+	// The HTTP surface serves the same clock as JSON.
+	hdl, err := tp.TimeHandler(tp.Hosts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	hdl.ServeHTTP(rec, httptest.NewRequest("GET", "/now", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /now = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		UTCPs      float64 `json:"utc_ps"`
+		EarliestPs float64 `json:"earliest_ps"`
+		LatestPs   float64 `json:"latest_ps"`
+		Epoch      uint64  `json:"epoch"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch == 0 || !(resp.EarliestPs < resp.UTCPs && resp.UTCPs < resp.LatestPs) {
+		t.Fatalf("implausible /now response: %+v", resp)
+	}
+
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimePlaneRejectsBadConfigs(t *testing.T) {
+	sys := newSynced(t, PaperTree(), WithSeed(33))
+	defer sys.Close()
+	if _, err := sys.TimePlane(TimePlaneOptions{Broadcaster: "s0"}); err == nil {
+		t.Fatal("switch accepted as broadcaster")
+	}
+	if _, err := sys.TimePlane(TimePlaneOptions{Hosts: []string{"s4"}}); err == nil {
+		t.Fatal("broadcaster accepted as served host")
+	}
+	if _, err := sys.TimePlane(TimePlaneOptions{Hosts: []string{"nope"}}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+// TestTimePlaneIntervalInvariantUnderChaos drives the serving plane
+// through a link flap and an oscillator frequency step and asserts the
+// TrueTime contract — earliest <= true time <= latest — at every
+// sampled read outside the excused-degradation windows. Inside a
+// window the plane may degrade, and a fail-closed read (stale/no
+// snapshot) is always acceptable; what must never happen outside the
+// windows is a *served* interval that excludes true time.
+func TestTimePlaneIntervalInvariantUnderChaos(t *testing.T) {
+	reg := NewMetricsRegistry()
+	sys := newSynced(t, PaperTree(), WithSeed(37), WithTelemetry(reg, NewTracer(0)))
+	defer sys.Close()
+
+	aud := sys.Audit(AuditOptions{})
+	tp, err := sys.TimePlane(TimePlaneOptions{
+		CalInterval: 10 * time.Millisecond,
+		Auditor:     aud,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &ChaosScenario{
+		Name:        "timesvc-invariant",
+		SettleGrace: ChaosD(2 * time.Millisecond),
+		Faults: []ChaosFault{
+			{
+				Kind: "flap", Link: []string{"s1", "s4"},
+				At:       ChaosD(400 * time.Millisecond),
+				Duration: ChaosD(60 * time.Millisecond),
+				MeanUp:   ChaosD(5 * time.Millisecond),
+				MeanDown: ChaosD(5 * time.Millisecond),
+			},
+			{
+				Kind: "freq_step", Device: "s8",
+				At:       ChaosD(700 * time.Millisecond),
+				Duration: ChaosD(60 * time.Millisecond),
+				PPMStep:  60,
+			},
+		},
+	}
+	eng, err := sys.Chaos(ChaosOptions{Scenario: sc, Auditor: aud})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fault's effect on served intervals outlives its clearing: the
+	// last snapshot published mid-degradation may serve for MaxAge, and
+	// the follower's ratio/residual EWMAs need a few broadcast rounds to
+	// re-learn the restored rate. Excuse each fault window plus settle
+	// grace plus that serving tail.
+	var maxAge sim.Time
+	for _, h := range tp.Hosts() {
+		svc, _ := tp.Service(h)
+		if a := svc.Config().MaxAge; a > maxAge {
+			maxAge = a
+		}
+	}
+	extraSettle := maxAge + sim.Time(40*sim.Millisecond)
+	excused := func(at sim.Time) bool {
+		for _, f := range sc.Faults {
+			if at >= f.At.T && at <= f.At.T+f.Duration.T+sc.SettleGrace.T+extraSettle {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Cold start is its own excused window: the service gates publishing
+	// on follower warmup (WarmupPairs broadcasts) and its bound then
+	// tightens as the EWMAs converge; start asserting well after that.
+	if warm := 250*time.Millisecond - sys.Now(); warm > 0 {
+		sys.Run(warm)
+	}
+
+	const step = sim.Millisecond
+	checked, failedClosed := 0, 0
+	for sys.Now() < 1200*time.Millisecond {
+		sys.Run(step.Std())
+		now := sim.FromStd(sys.Now())
+		if excused(now) {
+			continue
+		}
+		for _, h := range tp.Hosts() {
+			w, covered, err := tp.ReadCheck(h)
+			if err != nil {
+				// Fail-closed is honest at any time; count it so a plane
+				// that never serves can't pass vacuously.
+				failedClosed++
+				continue
+			}
+			if !covered {
+				t.Fatalf("t=%v %s: served interval (width %.0f ps) excludes true time outside excused windows",
+					now.Std(), h, w)
+			}
+			checked++
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d covered reads checked; sampling or serving broken", checked)
+	}
+	if failedClosed > checked/2 {
+		t.Fatalf("%d of %d+ reads failed closed outside excused windows; plane is not recovering", failedClosed, checked+failedClosed)
+	}
+
+	// After the last excused window the plane must actually serve again:
+	// every host readable, every interval covering truth.
+	for _, h := range tp.Hosts() {
+		w, covered, err := tp.ReadCheck(h)
+		if err != nil {
+			t.Fatalf("%s: read still failing after reconvergence: %v", h, err)
+		}
+		if !covered {
+			t.Fatalf("%s: interval (width %.0f ps) excludes truth after reconvergence", h, w)
+		}
+	}
+	_ = eng
+}

@@ -501,6 +501,43 @@ func (a *Auditor) Converged() bool { return a.converged }
 // LastViolation returns the most recent emitted violation (nil if none).
 func (a *Auditor) LastViolation() *Violation { return a.lastViol }
 
+// LiveBoundUnits returns the current worst-case 4TD precision bound
+// between the named device and any other audited device, in counter
+// units and including the configured software margin — the half-width a
+// time-serving API must cover for cross-host counter disagreement. It
+// reflects the link-synced set as of the auditor's last check, so it
+// tightens and relaxes as links flap. Returns -1 when the device is not
+// audited, no check has run yet, or the device cannot currently reach
+// every audited peer (a partitioned host has no honest bound to serve).
+func (a *Auditor) LiveBoundUnits(device string) int64 {
+	if a.hops == nil {
+		return -1
+	}
+	node, ok := a.net.Graph.ByName(device)
+	if !ok {
+		return -1
+	}
+	id := node.ID
+	audited := false
+	worst := int64(-1)
+	for _, j := range a.nodes {
+		if j == id {
+			audited = true
+			continue
+		}
+		if a.hops[id][j] < 0 {
+			return -1
+		}
+		if b := a.bounds[id][j] + a.cfg.SoftwareMarginUnits; b > worst {
+			worst = b
+		}
+	}
+	if !audited {
+		return -1
+	}
+	return worst
+}
+
 // WorstPairOffsetUnits returns the worst |offset| seen for a device
 // pair, by topology node IDs in either order (0 if never checked).
 func (a *Auditor) WorstPairOffsetUnits(i, j int) int64 {

@@ -123,6 +123,63 @@ func TestAuditorPartitionReconverge(t *testing.T) {
 	}
 }
 
+// LiveBoundUnits is the serving plane's error-bound source: worst 4TD
+// bound from one host to any audited peer, tracking the live link set.
+func TestAuditorLiveBoundUnits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SoftwareMarginUnits = 8
+	n, a, _, _ := newAudited(t, topo.PaperTree(), 9, cfg, core.DefaultConfig())
+
+	if b := a.LiveBoundUnits("s4"); b != -1 {
+		t.Fatalf("bound %d before any check, want -1", b)
+	}
+	n.Sch.Run(50 * sim.Millisecond)
+	if !a.Converged() {
+		t.Fatalf("tree never converged: %s", a.Summary())
+	}
+
+	// A leaf host's worst peer is a leaf under another aggregation
+	// switch: 4 hops, 4 units each, plus the 8-unit software margin.
+	leaf := a.LiveBoundUnits("s4")
+	if leaf != 4*4+8 {
+		t.Fatalf("s4 live bound %d units, want %d", leaf, 4*4+8)
+	}
+	// The root sits 2 hops from every host: strictly tighter.
+	if root := a.LiveBoundUnits("s0"); root >= leaf {
+		t.Fatalf("root bound %d not tighter than leaf bound %d", root, leaf)
+	}
+	if b := a.LiveBoundUnits("nosuch"); b != -1 {
+		t.Fatalf("bound %d for unknown device, want -1", b)
+	}
+
+	// Partition: s4's subtree loses the rest of the tree, so it has no
+	// honest all-pairs bound to serve until the link heals.
+	n.SetLinkDown(0)
+	n.Sch.RunFor(20 * sim.Millisecond)
+	if b := a.LiveBoundUnits("s4"); b != -1 {
+		t.Fatalf("partitioned s4 still reports bound %d, want -1", b)
+	}
+	n.SetLinkUp(0)
+	n.Sch.RunFor(100 * sim.Millisecond)
+	if b := a.LiveBoundUnits("s4"); b != leaf {
+		t.Fatalf("healed s4 bound %d, want %d again", b, leaf)
+	}
+}
+
+// HostsOnly auditors have no bound for switches — they are not audited.
+func TestAuditorLiveBoundHostsOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HostsOnly = true
+	n, a, _, _ := newAudited(t, topo.PaperTree(), 11, cfg, core.DefaultConfig())
+	n.Sch.Run(50 * sim.Millisecond)
+	if b := a.LiveBoundUnits("s0"); b != -1 {
+		t.Fatalf("unaudited switch reports bound %d, want -1", b)
+	}
+	if b := a.LiveBoundUnits("s4"); b <= 0 {
+		t.Fatalf("host bound %d, want positive", b)
+	}
+}
+
 // brokenConfig deliberately breaks the resynchronization frequency
 // invariant of §3.2: with worst-case ±100 ppm skew and a beacon interval
 // stretched to 100000 ticks, counters drift ~20 units between beacons —

@@ -117,6 +117,47 @@ func TestOnResultStreamsInGridOrder(t *testing.T) {
 	}
 }
 
+func TestTimeServicePointServesCoveredIntervals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving-plane campaign point is slow")
+	}
+	g := Grid{
+		Name:        "timesvc",
+		Topos:       []string{"pair"},
+		Seeds:       []uint64{11},
+		Durations:   []Duration{msec(300)},
+		TimeService: true,
+	}
+	rep, err := Run(g, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	if r.Err != "" {
+		t.Fatalf("time-service run errored: %s", r.Err)
+	}
+	// 300 ms at the 100 µs cadence is ~3000 probes on the one served
+	// host; the first ~60 ms fail closed while the follower warms up.
+	if r.TimeReads < 1000 {
+		t.Fatalf("only %d interval reads; serving plane barely ran", r.TimeReads)
+	}
+	if r.TimeUncovered != 0 {
+		t.Fatalf("%d served intervals excluded true time on a fault-free run", r.TimeUncovered)
+	}
+	if r.TimePublishes < 10 {
+		t.Fatalf("only %d publishes over 300 ms", r.TimePublishes)
+	}
+	if r.TimeWidthP50Ps <= 0 || r.TimeWidthP99Ps < r.TimeWidthP50Ps {
+		t.Fatalf("implausible width percentiles p50=%.0f p99=%.0f", r.TimeWidthP50Ps, r.TimeWidthP99Ps)
+	}
+	if !r.OK() {
+		t.Fatalf("run not OK: %+v", r)
+	}
+	if rep.Aggregate.TimeReads != r.TimeReads || rep.Aggregate.TimeUncovered != 0 {
+		t.Fatalf("aggregate time accounting wrong: %+v", rep.Aggregate)
+	}
+}
+
 func TestChaosPointVerifies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos campaign point is slow")

@@ -73,6 +73,12 @@ type Grid struct {
 	// Wander enables oscillator temperature wander (10 ms interval,
 	// 100 ppb steps — the dtpsim default) on every run.
 	Wander bool `json:"wander,omitempty"`
+	// TimeService attaches the serving plane (internal/timesvc) to every
+	// run — a UTC broadcaster on the first host, a TimeService on each
+	// other host — and probes every served clock at the sampling cadence,
+	// recording interval widths and the earliest <= truth <= latest
+	// verdict into the Result's Time* fields.
+	TimeService bool `json:"time_service,omitempty"`
 	// BER is the wire bit error rate applied to every run (with the
 	// parity bit enabled when nonzero).
 	BER float64 `json:"ber,omitempty"`

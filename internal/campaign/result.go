@@ -61,6 +61,23 @@ type Result struct {
 	ChaosOK  bool   `json:"chaos_ok"`
 	ChaosErr string `json:"chaos_error,omitempty"`
 
+	// Time* fields summarize the serving-plane probe (Grid.TimeService):
+	// every sampling tick reads each served host's TrueTime-style
+	// interval and checks it against ground truth. TimeReads counts
+	// served intervals, TimeUncovered how many excluded true time (the
+	// one unforgivable outcome on a fault-free run), TimeFailedClosed
+	// how many reads failed closed (stale/no snapshot — honest during
+	// warmup or faults). Zero-valued unless the grid enabled the plane.
+	TimeReads        uint64 `json:"time_reads,omitempty"`
+	TimeUncovered    uint64 `json:"time_uncovered,omitempty"`
+	TimeFailedClosed uint64 `json:"time_failed_closed,omitempty"`
+	// TimePublishes totals snapshot publishes across served hosts.
+	TimePublishes uint64 `json:"time_publishes,omitempty"`
+	// TimeWidthP50Ps / TimeWidthP99Ps are percentiles of the sampled
+	// interval widths, in UTC picoseconds.
+	TimeWidthP50Ps float64 `json:"time_width_p50_ps,omitempty"`
+	TimeWidthP99Ps float64 `json:"time_width_p99_ps,omitempty"`
+
 	// Wall is the run's host wall-clock cost. Excluded from JSON: it
 	// would break byte-determinism across worker counts.
 	Wall time.Duration `json:"-"`
@@ -78,6 +95,13 @@ func (r *Result) OK() bool {
 	// excused windows; the auditor + Verify() already enforced the
 	// windowed claim above.
 	if r.Chaos == "" && !r.WithinBound {
+		return false
+	}
+	// A served interval that excludes true time breaks the TrueTime
+	// contract. Under chaos, mid-fault samples may legitimately miss
+	// (the chaos invariant test excuses declared windows; the campaign
+	// probe cannot), so the strict form only binds fault-free runs.
+	if r.Chaos == "" && r.TimeUncovered > 0 {
 		return false
 	}
 	return true
@@ -113,6 +137,14 @@ type Aggregate struct {
 	// passed Verify().
 	ChaosRuns     int `json:"chaos_runs"`
 	ChaosVerified int `json:"chaos_verified"`
+
+	// TimeReads / TimeUncovered / TimeFailedClosed pool the serving-
+	// plane probes across runs; WorstTimeWidthP99Ps is the widest p99
+	// interval any run served.
+	TimeReads           uint64  `json:"time_reads,omitempty"`
+	TimeUncovered       uint64  `json:"time_uncovered,omitempty"`
+	TimeFailedClosed    uint64  `json:"time_failed_closed,omitempty"`
+	WorstTimeWidthP99Ps float64 `json:"worst_time_width_p99_ps,omitempty"`
 }
 
 // Aggregated folds Results (in grid order) into the campaign rollup.
@@ -154,6 +186,12 @@ func Aggregated(name string, results []Result) Aggregate {
 			if r.ChaosOK {
 				agg.ChaosVerified++
 			}
+		}
+		agg.TimeReads += r.TimeReads
+		agg.TimeUncovered += r.TimeUncovered
+		agg.TimeFailedClosed += r.TimeFailedClosed
+		if r.TimeWidthP99Ps > agg.WorstTimeWidthP99Ps {
+			agg.WorstTimeWidthP99Ps = r.TimeWidthP99Ps
 		}
 	}
 	return agg
@@ -207,6 +245,10 @@ func (rep *Report) Summary() string {
 	fmt.Fprintf(&b, "\n  worst offset %d ticks = %.1f ns (run %d); slowest sync %.0f µs; OWD %d..%d ticks\n",
 		agg.WorstOffsetTicks, agg.WorstOffsetNs, agg.WorstRun, agg.MaxTimeToSyncUs,
 		agg.OWDMinTicks, agg.OWDMaxTicks)
+	if agg.TimeReads > 0 {
+		fmt.Fprintf(&b, "  time service: %d interval reads, %d uncovered, %d failed closed; worst p99 width %.0f ps\n",
+			agg.TimeReads, agg.TimeUncovered, agg.TimeFailedClosed, agg.WorstTimeWidthP99Ps)
+	}
 	if agg.ChaosRuns > 0 {
 		fmt.Fprintf(&b, "  chaos: %d/%d scenarios verified; audit: %d unexcused violations, %d excused\n",
 			agg.ChaosVerified, agg.ChaosRuns, agg.AuditViolations, agg.AuditExcused)

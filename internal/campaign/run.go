@@ -150,6 +150,21 @@ func RunPoint(g Grid, p Point) (res Result) {
 	// OWD range across every link direction, measured during INIT.
 	res.OWDMinTicks, res.OWDMaxTicks = owdRange(sys)
 
+	// Serving plane: broadcast UTC from the first host, serve intervals
+	// on every other host, probe them at the sampling cadence below. The
+	// compressed calibration cadence matches what the plane's own tests
+	// use; the shared auditor feeds the live bound into every interval.
+	var tp *dtp.TimePlane
+	if g.TimeService {
+		if tp, err = sys.TimePlane(dtp.TimePlaneOptions{
+			CalInterval: 10 * time.Millisecond,
+			Auditor:     aud,
+		}); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+
 	switch p.Load {
 	case "mtu":
 		sys.SetUniformLoad(1522)
@@ -161,6 +176,7 @@ func RunPoint(g Grid, p Point) (res Result) {
 	// the percentiles summarize the sampled envelope.
 	sample := g.SamplePeriod.Std()
 	summary := stats.NewSummary(0)
+	widths := stats.NewSummary(0)
 	for elapsed := time.Duration(0); elapsed < p.Duration.Std(); elapsed += sample {
 		sys.Run(sample)
 		off := sys.MaxOffsetTicks()
@@ -168,9 +184,34 @@ func RunPoint(g Grid, p Point) (res Result) {
 			res.MaxOffsetTicks = off
 		}
 		summary.Add(float64(off))
+		if tp != nil {
+			for _, h := range tp.Hosts() {
+				w, covered, err := tp.ReadCheck(h)
+				if err != nil {
+					res.TimeFailedClosed++
+					continue
+				}
+				res.TimeReads++
+				if !covered {
+					res.TimeUncovered++
+				}
+				widths.Add(w)
+			}
+		}
 	}
 	res.P50OffsetTicks = summary.Quantile(0.5)
 	res.P99OffsetTicks = summary.Quantile(0.99)
+	if res.TimeReads > 0 {
+		res.TimeWidthP50Ps = widths.Quantile(0.5)
+		res.TimeWidthP99Ps = widths.Quantile(0.99)
+	}
+	if tp != nil {
+		for _, h := range tp.Hosts() {
+			if svc, err := tp.Service(h); err == nil {
+				res.TimePublishes += svc.Publishes()
+			}
+		}
+	}
 	res.BoundTicks = sys.BoundTicks()
 	res.WithinBound = res.MaxOffsetTicks <= res.BoundTicks
 	res.MaxOffsetNs = float64(res.MaxOffsetTicks) * sys.TickNanos()

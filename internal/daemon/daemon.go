@@ -73,12 +73,13 @@ type Daemon struct {
 	// plus the estimated ratio of DTP units per TSC picosecond. The
 	// ratio is measured against an anchor several calibrations old —
 	// a longer baseline divides the per-read latch noise.
-	haveCal  bool
-	calDTP   float64
-	calTSC   float64
-	ratio    float64 // units per TSC ps
-	calCount uint64
-	history  []calPoint
+	haveCal   bool
+	calDTP    float64
+	calTSC    float64
+	anchorErr float64 // worst-case anchor error, units (see EstimateErrorUnits)
+	ratio     float64 // units per TSC ps
+	calCount  uint64
+	history   []calPoint
 
 	stopped bool
 
@@ -152,6 +153,23 @@ type calPoint struct{ dtp, tsc float64 }
 // sits: a longer baseline divides per-read latch noise into the ratio.
 const ratioBaseline = 10
 
+// The NIC latches the counter somewhere within the PCIe read; the
+// daemon assumes the window midpoint. The latch point stays within
+// latchMidFrac ± latchHalfRangeFrac of the measured read duration (the
+// kind of bound a NIC datasheet specifies), so the daemon can bound its
+// own anchor error from the latency it just measured — the same move
+// NTP makes with RTT/2.
+const (
+	latchMidFrac       = 0.5
+	latchHalfRangeFrac = 0.1
+)
+
+// ratioSlackPPM bounds the frequency-ratio estimation error: the ratio
+// is an EWMA over a ratioBaseline-calibration window, so per-read latch
+// noise divided by the baseline leaves well under a ppm in steady state;
+// PCIe spike samples push it to a few ppm transiently.
+const ratioSlackPPM = 5
+
 // calibrate performs one MMIO read of the NIC's DTP counter and updates
 // the TSC->DTP mapping.
 func (d *Daemon) calibrate() {
@@ -165,7 +183,7 @@ func (d *Daemon) calibrate() {
 	// midpoint; the latch point's deviation from the midpoint becomes
 	// estimation error — the Figure 7a noise, largest on the PCIe
 	// contention spikes.
-	latchFrac := d.rng.Uniform(0.4, 0.6)
+	latchFrac := d.rng.Uniform(latchMidFrac-latchHalfRangeFrac, latchMidFrac+latchHalfRangeFrac)
 	latchAt := issue + sim.Time(float64(lat)*latchFrac)
 	latched := d.dev.GlobalCounterAt(latchAt)
 	d.sch.At(issue+lat, func() {
@@ -181,6 +199,7 @@ func (d *Daemon) calibrate() {
 		}
 		d.calDTP = sample
 		d.calTSC = tscMid
+		d.anchorErr = latchHalfRangeFrac * float64(lat) * d.ratio
 		d.haveCal = true
 		d.calCount++
 		d.cals.Inc()
@@ -222,3 +241,35 @@ func (d *Daemon) OffsetUnits() float64 {
 
 // Device returns the attached DTP device.
 func (d *Daemon) Device() *core.Device { return d.dev }
+
+// TSC returns the daemon's raw timebase: the invariant-TSC software
+// clock its estimates interpolate from. The serving plane anchors its
+// published snapshots in this clock's domain so fast-path readers never
+// touch the daemon itself.
+func (d *Daemon) TSC() *swclock.Clock { return d.tsc }
+
+// Ratio returns the estimated DTP counter units per TSC picosecond.
+func (d *Daemon) Ratio() float64 { return d.ratio }
+
+// Calibrated reports whether at least one PCIe calibration completed
+// (before that, estimates are meaningless zeros).
+func (d *Daemon) Calibrated() bool { return d.haveCal }
+
+// EstimateErrorUnits returns a conservative bound on the current
+// estimate's error versus the hardware counter, in counter units: the
+// calibration anchor's worst-case latch error (half-range of the latch
+// window over the measured PCIe read) plus frequency-ratio slack
+// accumulated since the calibration. It is adaptive — a contention
+// spike widens the bound for exactly one calibration interval — and
+// +Inf before the first calibration. The serving plane
+// (internal/timesvc) folds it into published interval half-widths.
+func (d *Daemon) EstimateErrorUnits() float64 {
+	if !d.haveCal {
+		return math.Inf(1)
+	}
+	elapsed := d.tsc.Now() - d.calTSC // TSC ps since calibration
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return d.anchorErr + ratioSlackPPM*1e-6*elapsed*d.ratio
+}

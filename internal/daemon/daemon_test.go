@@ -166,3 +166,114 @@ func TestExternalSyncUTC(t *testing.T) {
 		t.Fatal("stopped broadcaster kept sending")
 	}
 }
+
+// UTCErrorPs promises |UTC estimate - true time|; regression for the
+// version that returned the signed difference.
+func TestUTCErrorPsIsMagnitude(t *testing.T) {
+	sch, n := syncedPair(t, 17)
+	cfg := DefaultConfig().Compressed(100)
+	d0 := New(n.Devices[0], cfg, 25)
+	d1 := New(n.Devices[1], cfg, 27)
+	d0.Start()
+	d1.Start()
+	b := NewUTCBroadcaster(d0, TrueUTC{Sch: sch}, 20*sim.Millisecond)
+	f := NewUTCFollower(d1)
+	b.Subscribe(f)
+	b.Start()
+	if !math.IsInf(f.UTCErrorPs(), 1) {
+		t.Fatal("error before first broadcast should be +Inf")
+	}
+	sch.RunFor(2 * sim.Second)
+	sawNonZero := false
+	for i := 0; i < 500; i++ {
+		sch.RunFor(sim.Millisecond)
+		e := f.UTCErrorPs()
+		if e < 0 {
+			t.Fatalf("UTCErrorPs returned signed value %.0f ps", e)
+		}
+		signed := f.UTCSignedErrorPs()
+		if math.Abs(signed) != e {
+			t.Fatalf("UTCErrorPs %.0f != |signed error %.0f|", e, signed)
+		}
+		if signed < 0 {
+			sawNonZero = true
+		}
+	}
+	// The magnitude contract only bites when the estimate runs behind
+	// true time; make sure the run actually exercised that side.
+	if !sawNonZero {
+		t.Log("estimate never ran behind true time this run; magnitude check weak")
+	}
+}
+
+// deliver must drop pairs whose counter does not advance: anchoring on
+// them would poison interpolation and a ratio update would divide by a
+// non-positive span.
+func TestFollowerDropsStalePairs(t *testing.T) {
+	sch, n := syncedPair(t, 19)
+	d := New(n.Devices[1], DefaultConfig().Compressed(100), 29)
+	d.Start()
+	sch.RunFor(sim.Second)
+	f := NewUTCFollower(d)
+
+	f.deliver(UTCBroadcast{Counter: 1000, UTC: 1e9})
+	f.deliver(UTCBroadcast{Counter: 2000, UTC: 2e9})
+	anchor, _ := f.Anchor()
+	ratio := f.Ratio()
+
+	// Duplicate and regressing counters: both must be dropped whole —
+	// no anchor movement, no ratio update.
+	f.deliver(UTCBroadcast{Counter: 2000, UTC: 3e9})
+	f.deliver(UTCBroadcast{Counter: 1500, UTC: 4e9})
+	if got, _ := f.Anchor(); got != anchor {
+		t.Fatalf("stale pair moved the anchor: %+v -> %+v", anchor, got)
+	}
+	if f.Ratio() != ratio {
+		t.Fatalf("stale pair changed the ratio: %g -> %g", ratio, f.Ratio())
+	}
+	if f.StalePairs() != 2 {
+		t.Fatalf("StalePairs = %d, want 2", f.StalePairs())
+	}
+	if f.Received() != 4 {
+		t.Fatalf("Received = %d, want 4 (stale pairs still count as consumed)", f.Received())
+	}
+
+	// A fresh advancing pair resumes normal anchoring.
+	f.deliver(UTCBroadcast{Counter: 3000, UTC: 3e9})
+	if got, _ := f.Anchor(); got.Counter != 3000 {
+		t.Fatalf("advancing pair not anchored: %+v", got)
+	}
+}
+
+// The residual tracker converges toward the follower's one-interval
+// prediction error.
+func TestFollowerResidualTracksPredictionError(t *testing.T) {
+	sch, n := syncedPair(t, 23)
+	d := New(n.Devices[1], DefaultConfig().Compressed(100), 31)
+	d.Start()
+	sch.RunFor(sim.Second)
+	f := NewUTCFollower(d)
+	if f.ResidualPs() != 0 {
+		t.Fatal("residual nonzero before broadcasts")
+	}
+	// Perfectly linear pairs at the nominal ratio: residuals ~ 0.
+	ratio := f.Ratio()
+	for i := 0; i < 20; i++ {
+		c := 1000 * float64(i+1)
+		f.deliver(UTCBroadcast{Counter: c, UTC: c * ratio})
+	}
+	if f.ResidualPs() > 1 {
+		t.Fatalf("residual %.3f ps on perfectly linear pairs", f.ResidualPs())
+	}
+	// Now jitter each pair by ±J: residual EWMA should land near J.
+	const J = 5000.0 // ps
+	sign := 1.0
+	for i := 20; i < 60; i++ {
+		c := 1000 * float64(i+1)
+		f.deliver(UTCBroadcast{Counter: c, UTC: c*ratio + sign*J})
+		sign = -sign
+	}
+	if r := f.ResidualPs(); r < J/2 || r > 4*J {
+		t.Fatalf("residual %.0f ps, want around the injected %.0f ps jitter", r, J)
+	}
+}

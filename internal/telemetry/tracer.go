@@ -71,6 +71,16 @@ const (
 	// (counter restarts from zero, links re-enter through INIT).
 	KindDeviceCrash
 	KindDeviceRestart
+	// KindTimesvcPublish: the time service (internal/timesvc) published
+	// a fresh clock snapshot; Who is the host, V1 the interval
+	// half-width in ps, V2 the snapshot epoch.
+	KindTimesvcPublish
+	// KindTimesvcDegraded: the time service skipped a publish because no
+	// honest error bound was available (audit bound unknown, no UTC
+	// broadcast yet, or daemon uncalibrated); V1 is a reason code,
+	// Detail the reason name. Readers age out at the snapshot MaxAge and
+	// then fail closed (stale) instead of serving unbounded time.
+	KindTimesvcDegraded
 
 	numKinds
 )
@@ -82,6 +92,7 @@ var kindNames = [numKinds]string{
 	"clock_step", "master_switch", "frame_drop", "bound_violation",
 	"port_demoted", "chaos_inject", "chaos_clear",
 	"device_crash", "device_restart",
+	"timesvc_publish", "timesvc_degraded",
 }
 
 // String returns the stable snake_case name used in JSONL dumps.

@@ -1,0 +1,55 @@
+package timesvc
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// TimeResponse is the JSON body served for one time query.
+type TimeResponse struct {
+	Host       string  `json:"host"`
+	UTCPs      float64 `json:"utc_ps"`
+	EarliestPs float64 `json:"earliest_ps"`
+	LatestPs   float64 `json:"latest_ps"`
+	WidthPs    float64 `json:"width_ps"`
+	Epoch      uint64  `json:"epoch"`
+}
+
+// Handler serves a Clock over HTTP:
+//
+//	GET <prefix>now       -> {"utc_ps": ..., "earliest_ps": ..., ...}
+//	GET <prefix>interval  -> same body (alias; clients wanting only the
+//	                         point estimate read utc_ps)
+//
+// Failed-closed reads (nothing published, or the snapshot aged past
+// MaxAge) return 503 so clients distinguish "service degraded" from
+// transport errors. The handler is an observability/demo surface on
+// dtpd's existing listener, NOT the fast path — in-process readers use
+// the Clock directly; cmd/dtpload measures that path.
+func Handler(host string, c *Clock) http.Handler {
+	mux := http.NewServeMux()
+	serve := func(w http.ResponseWriter, r *http.Request) {
+		utc, iv, err := c.At(c.tb.Raw())
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if !errors.Is(err, ErrNoSnapshot) && !errors.Is(err, ErrStale) {
+				status = http.StatusInternalServerError
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TimeResponse{
+			Host:       host,
+			UTCPs:      utc,
+			EarliestPs: iv.EarliestPs,
+			LatestPs:   iv.LatestPs,
+			WidthPs:    iv.WidthPs(),
+			Epoch:      c.store.Epoch(),
+		})
+	}
+	mux.HandleFunc("/now", serve)
+	mux.HandleFunc("/interval", serve)
+	return mux
+}

@@ -1,0 +1,294 @@
+package timesvc
+
+import (
+	"github.com/dtplab/dtp/internal/audit"
+	"github.com/dtplab/dtp/internal/daemon"
+	"github.com/dtplab/dtp/internal/sim"
+	"github.com/dtplab/dtp/internal/telemetry"
+)
+
+// ServiceConfig tunes the calibration/publish side. The zero value
+// selects every default.
+type ServiceConfig struct {
+	// PublishInterval is the snapshot cadence in simulated time
+	// (default 10 ms). Each tick folds the daemon, follower, and audit
+	// state into one immutable snapshot.
+	PublishInterval sim.Time
+
+	// SoftwareMarginUnits is the §5.1 daemon software-access margin
+	// added to the audit bound, in counter units (default 8: the paper's
+	// ±4 smoothed ticks on each of the two daemons involved).
+	SoftwareMarginUnits int64
+
+	// ResidualFactor and ResidualFloorPs turn the follower's smoothed
+	// |prediction residual| into the broadcast-error component of the
+	// bound: max(ResidualFloorPs, ResidualFactor × residual). The factor
+	// covers residual tails above the EWMA (default 4); the floor covers
+	// the cold start before the EWMA has seen enough broadcasts
+	// (default 25 ns).
+	ResidualFactor  float64
+	ResidualFloorPs float64
+
+	// DriftPPM widens published intervals as they age, covering ratio
+	// estimation error between publishes (default 5 ppm: the daemon's
+	// ratio slack plus the follower's, see daemon.ratioSlackPPM).
+	DriftPPM float64
+
+	// MaxAge is how stale a snapshot may be served before reads fail
+	// closed (default 8 × PublishInterval).
+	MaxAge sim.Time
+
+	// WarmupPairs is how many ratio measurements the UTC follower must
+	// have folded in before the service publishes at all (default 5):
+	// before that, the frequency-ratio and residual estimates are too
+	// raw to stand behind an error bound.
+	WarmupPairs uint64
+}
+
+// DefaultServiceConfig returns the default serving-plane configuration.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{
+		PublishInterval:     10 * sim.Millisecond,
+		SoftwareMarginUnits: 8,
+		ResidualFactor:      4,
+		ResidualFloorPs:     25_000,
+		DriftPPM:            5,
+		WarmupPairs:         5,
+	}
+}
+
+func (c *ServiceConfig) fillDefaults() {
+	d := DefaultServiceConfig()
+	if c.PublishInterval <= 0 {
+		c.PublishInterval = d.PublishInterval
+	}
+	if c.SoftwareMarginUnits <= 0 {
+		c.SoftwareMarginUnits = d.SoftwareMarginUnits
+	}
+	if c.ResidualFactor <= 0 {
+		c.ResidualFactor = d.ResidualFactor
+	}
+	if c.ResidualFloorPs <= 0 {
+		c.ResidualFloorPs = d.ResidualFloorPs
+	}
+	if c.DriftPPM <= 0 {
+		c.DriftPPM = d.DriftPPM
+	}
+	if c.MaxAge <= 0 {
+		c.MaxAge = 8 * c.PublishInterval
+	}
+	if c.WarmupPairs == 0 {
+		c.WarmupPairs = d.WarmupPairs
+	}
+}
+
+// Degradation reason codes (V1 of timesvc_degraded trace events).
+const (
+	// DegradedNoCalibration: the daemon has not completed a PCIe
+	// calibration yet.
+	DegradedNoCalibration = iota
+	// DegradedNoBroadcast: no UTC broadcast pair has arrived.
+	DegradedNoBroadcast
+	// DegradedNoBound: the auditor has no live all-pairs bound for this
+	// host (not converged, or the host is partitioned).
+	DegradedNoBound
+	// DegradedWarmup: the UTC follower has fewer than WarmupPairs ratio
+	// measurements; estimates are too raw to bound honestly.
+	DegradedWarmup
+)
+
+var degradedReasons = [...]string{"no_calibration", "no_broadcast", "no_bound", "warmup"}
+
+// Service is the calibration/publish half of one host's time service.
+// On every publish tick (a scheduler event, so strictly on the
+// simulation goroutine) it composes
+//
+//	ε = (liveAuditBound + daemonErr + broadcasterErr + softwareMargin) · psPerUnit
+//	  + max(residualFloor, residualFactor · broadcastResidual)
+//
+// and publishes a snapshot anchored in the host's TSC domain. When any
+// input is unavailable — daemon uncalibrated, no broadcast yet, no
+// live audit bound — the tick publishes nothing and counts the reason;
+// the previous snapshot then ages out at MaxAge and readers fail
+// closed, which is the honest behavior for a clock that has lost its
+// error bound.
+type Service struct {
+	d   *daemon.Daemon
+	f   *daemon.UTCFollower
+	aud *audit.Auditor
+	sch *sim.Scheduler
+	cfg ServiceConfig
+
+	host  string
+	store Store
+	clock *Clock // TSC-timebase clock for in-sim reads
+
+	epoch     uint64
+	publishes uint64
+	degraded  uint64
+
+	event   *sim.Event
+	stopped bool
+
+	tr         *telemetry.Tracer
+	mPublishes *telemetry.Counter
+	mDegraded  [len(degradedReasons)]*telemetry.Counter
+	mBound     *telemetry.Gauge
+}
+
+// NewService wires a host's daemon, UTC follower, and the network
+// auditor into a time service. The auditor supplies the live cross-host
+// bound; it must audit this host (HostsOnly auditors audit every host).
+func NewService(d *daemon.Daemon, f *daemon.UTCFollower, aud *audit.Auditor, cfg ServiceConfig) *Service {
+	cfg.fillDefaults()
+	s := &Service{
+		d: d, f: f, aud: aud,
+		sch:  d.Device().Clock().Scheduler(),
+		cfg:  cfg,
+		host: d.Device().Name(),
+	}
+	s.clock = NewClock(&s.store, TSCTimebase{C: d.TSC()})
+	return s
+}
+
+// Instrument attaches telemetry. Either argument may be nil.
+func (s *Service) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	s.tr = tr
+	s.mPublishes = reg.Counter("dtp_timesvc_publishes_total",
+		"Clock snapshots published by the time service.", "host", s.host)
+	for i, reason := range degradedReasons {
+		s.mDegraded[i] = reg.Counter("dtp_timesvc_degraded_total",
+			"Publish ticks skipped because no honest error bound was available.",
+			"host", s.host, "reason", reason)
+	}
+	s.mBound = reg.Gauge("dtp_timesvc_bound_ps",
+		"Uncertainty half-width of the last published snapshot, in picoseconds.",
+		"host", s.host)
+}
+
+// Start schedules the periodic publish tick.
+func (s *Service) Start() {
+	s.stopped = false
+	s.event = s.sch.After(s.cfg.PublishInterval, s.tick)
+}
+
+// Stop cancels publishing; the last snapshot keeps serving until it
+// ages out.
+func (s *Service) Stop() {
+	s.stopped = true
+	if s.event != nil {
+		s.event.Cancel()
+		s.event = nil
+	}
+}
+
+// Host returns the served host's device name.
+func (s *Service) Host() string { return s.host }
+
+// Store returns the snapshot store, e.g. to build a Clock on a
+// different timebase (the load generator's wall clock).
+func (s *Service) Store() *Store { return &s.store }
+
+// Clock returns the in-sim reader: a Clock on this host's TSC
+// timebase. Only usable on the simulation goroutine.
+func (s *Service) Clock() *Clock { return s.clock }
+
+// Publishes returns how many snapshots have been published.
+func (s *Service) Publishes() uint64 { return s.publishes }
+
+// DegradedTicks returns how many publish ticks found no honest bound.
+func (s *Service) DegradedTicks() uint64 { return s.degraded }
+
+// Config returns the effective configuration (defaults filled).
+func (s *Service) Config() ServiceConfig { return s.cfg }
+
+func (s *Service) tick() {
+	if s.stopped {
+		return
+	}
+	s.publish()
+	s.event = s.sch.After(s.cfg.PublishInterval, s.tick)
+}
+
+// publish composes and publishes one snapshot, or counts why it could
+// not.
+func (s *Service) publish() {
+	if !s.d.Calibrated() {
+		s.degrade(DegradedNoCalibration)
+		return
+	}
+	utc, err := s.f.UTC()
+	if err != nil {
+		s.degrade(DegradedNoBroadcast)
+		return
+	}
+	if s.f.RatioUpdates() < s.cfg.WarmupPairs {
+		s.degrade(DegradedWarmup)
+		return
+	}
+	boundUnits := s.aud.LiveBoundUnits(s.host)
+	if boundUnits < 0 {
+		s.degrade(DegradedNoBound)
+		return
+	}
+
+	// Counter-domain error, in units: the audited cross-host hardware
+	// disagreement (4TD), this daemon's self-reported estimate error
+	// (adaptive — a PCIe contention spike widens it for one calibration
+	// interval), the broadcaster's self-reported error shipped inside
+	// the anchor pair (NTP root-dispersion style), and the fixed
+	// software margin on top.
+	unitErr := float64(boundUnits+s.cfg.SoftwareMarginUnits) +
+		s.d.EstimateErrorUnits() + s.f.AnchorErrUnits()
+	eps := unitErr * s.f.Ratio()
+	// Broadcast estimation error in UTC ps: the follower's realized
+	// one-interval prediction residual, with tail factor and cold-start
+	// floor.
+	if r := s.cfg.ResidualFactor * s.f.ResidualPs(); r > s.cfg.ResidualFloorPs {
+		eps += r
+	} else {
+		eps += s.cfg.ResidualFloorPs
+	}
+
+	s.epoch++
+	s.store.Publish(Snapshot{
+		Epoch:     s.epoch,
+		AnchorRaw: int64(s.d.TSC().Now()),
+		AnchorUTC: utc,
+		// UTC ps per TSC ps: daemon units-per-TSC-ps × follower
+		// UTC-ps-per-unit.
+		Ratio:    s.d.Ratio() * s.f.Ratio(),
+		BoundPs:  eps,
+		DriftPPM: s.cfg.DriftPPM,
+		MaxAgePs: int64(s.cfg.MaxAge),
+	})
+	s.publishes++
+	s.mPublishes.Inc()
+	s.mBound.Set(eps)
+	if s.tr.Enabled(telemetry.KindTimesvcPublish) {
+		s.tr.Record(s.sch.Now(), telemetry.KindTimesvcPublish, s.host,
+			int64(eps), int64(s.epoch), "")
+	}
+}
+
+func (s *Service) degrade(reason int) {
+	s.degraded++
+	s.mDegraded[reason].Inc()
+	if s.tr.Enabled(telemetry.KindTimesvcDegraded) {
+		s.tr.Record(s.sch.Now(), telemetry.KindTimesvcDegraded, s.host,
+			int64(reason), 0, degradedReasons[reason])
+	}
+}
+
+// ReadCheck samples the in-sim clock at the current simulated instant
+// and verifies the interval against ground truth (simulated time is
+// true UTC — the TrueUTC broadcast source serves exactly it). Returns
+// the interval width, whether truth fell inside, and any read error.
+// Only usable on the simulation goroutine.
+func (s *Service) ReadCheck() (widthPs float64, covered bool, err error) {
+	_, iv, err := s.clock.At(int64(s.d.TSC().Now()))
+	if err != nil {
+		return 0, false, err
+	}
+	return iv.WidthPs(), iv.Contains(float64(s.sch.Now())), nil
+}

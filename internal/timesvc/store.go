@@ -1,0 +1,147 @@
+// Package timesvc is the serving plane on top of the DTP daemon: it
+// turns a host's daemon + UTC follower into a long-lived time service
+// with a TrueTime-style API — Now() and NowInterval() returning
+// [earliest, latest] UTC intervals whose half-width is backed by the
+// live 4TD audit bound, the daemon's software-access margin, and the
+// measured UTC-broadcast estimation error.
+//
+// The design splits reads from calibration the way production time
+// services do (scion-time's timeservice/driver-shm split, Spanner's
+// TrueTime): the calibration side periodically publishes an immutable
+// Snapshot (epoch, UTC anchor, frequency ratio, error bound) through a
+// seqlock Store, and readers interpolate UTC from the snapshot plus a
+// raw timebase reading without ever touching the daemon — the read
+// path is lock-free and allocation-free, so millions of concurrent
+// queries per second never contend with calibration or each other.
+package timesvc
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+// Snapshot is one published clock state. Readers evaluate UTC at a raw
+// timebase reading r as
+//
+//	UTC(r) = AnchorUTC + (r - AnchorRaw) · Ratio
+//
+// with uncertainty half-width
+//
+//	ε(r) = BoundPs + DriftPPM·1e-6·|r - AnchorRaw|
+//
+// so the interval [UTC-ε, UTC+ε] widens as the snapshot ages, exactly
+// like TrueTime's ε between master syncs. MaxAgePs bounds how stale a
+// snapshot may be served: past it, reads fail closed (ErrStale) rather
+// than return an interval whose bound nobody stands behind.
+type Snapshot struct {
+	// Epoch increments with every publish; readers can detect
+	// recalibration between two reads by comparing epochs.
+	Epoch uint64
+	// AnchorRaw is the raw timebase reading at the anchor instant, ps.
+	AnchorRaw int64
+	// AnchorUTC is the UTC estimate at the anchor instant, ps.
+	AnchorUTC float64
+	// Ratio is UTC picoseconds per raw-timebase picosecond.
+	Ratio float64
+	// BoundPs is the uncertainty half-width at the anchor instant.
+	BoundPs float64
+	// DriftPPM grows the half-width as the snapshot ages (parts per
+	// million of elapsed raw time).
+	DriftPPM float64
+	// MaxAgePs is the serving limit; 0 means no limit.
+	MaxAgePs int64
+}
+
+// snapWords is the number of 64-bit words a Snapshot packs into.
+const snapWords = 7
+
+// pack flattens the snapshot into atomic-storable words.
+func (sn *Snapshot) pack(w *[snapWords]uint64) {
+	w[0] = sn.Epoch
+	w[1] = uint64(sn.AnchorRaw)
+	w[2] = math.Float64bits(sn.AnchorUTC)
+	w[3] = math.Float64bits(sn.Ratio)
+	w[4] = math.Float64bits(sn.BoundPs)
+	w[5] = math.Float64bits(sn.DriftPPM)
+	w[6] = uint64(sn.MaxAgePs)
+}
+
+// unpack rebuilds the snapshot from words.
+func (sn *Snapshot) unpack(w *[snapWords]uint64) {
+	sn.Epoch = w[0]
+	sn.AnchorRaw = int64(w[1])
+	sn.AnchorUTC = math.Float64frombits(w[2])
+	sn.Ratio = math.Float64frombits(w[3])
+	sn.BoundPs = math.Float64frombits(w[4])
+	sn.DriftPPM = math.Float64frombits(w[5])
+	sn.MaxAgePs = int64(w[6])
+}
+
+// Store publishes Snapshots through a seqlock: a sequence counter that
+// is odd while a write is in flight, plus the snapshot fields as
+// individual atomic words. Writers bump the sequence to odd, store the
+// words, and bump it to even; readers load the sequence, the words, and
+// the sequence again, retrying on any mismatch. Every access is a plain
+// atomic load or store — no mutex anywhere, so the read path cannot be
+// blocked by a stalled writer holding a lock, reads never allocate, and
+// the race detector proves the whole dance sound.
+//
+// Publish is single-writer (the calibration tick); Read is safe from
+// any number of goroutines.
+type Store struct {
+	seq   atomic.Uint64
+	words [snapWords]atomic.Uint64
+}
+
+// Publish makes sn the current snapshot. Only one goroutine may call
+// Publish; concurrent writers would interleave their words.
+func (s *Store) Publish(sn Snapshot) {
+	var w [snapWords]uint64
+	sn.pack(&w)
+	s.seq.Add(1) // odd: write in flight
+	for i := range w {
+		s.words[i].Store(w[i])
+	}
+	s.seq.Add(1) // even: consistent again
+}
+
+// Read returns the current snapshot. ok is false before the first
+// Publish. The retry loop completes in one pass unless a publish
+// overlaps the read, and publishes are rare (the calibration cadence),
+// so the expected cost is seven atomic loads and two of the sequence.
+func (s *Store) Read() (sn Snapshot, ok bool) {
+	for {
+		s1 := s.seq.Load()
+		if s1&1 == 0 {
+			var w [snapWords]uint64
+			for i := range w {
+				w[i] = s.words[i].Load()
+			}
+			if s.seq.Load() == s1 {
+				if s1 == 0 {
+					return Snapshot{}, false
+				}
+				sn.unpack(&w)
+				return sn, true
+			}
+		}
+		// A writer is mid-publish; yield rather than burn the core.
+		runtime.Gosched()
+	}
+}
+
+// Epoch returns the current snapshot's epoch (0 before any publish)
+// without unpacking the rest — one or two atomic loads.
+func (s *Store) Epoch() uint64 {
+	for {
+		s1 := s.seq.Load()
+		if s1&1 == 0 {
+			e := s.words[0].Load()
+			if s.seq.Load() == s1 {
+				return e
+			}
+		}
+		runtime.Gosched()
+	}
+}
