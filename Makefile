@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos campaign serve-bench
+.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos campaign serve-bench flight attr-bench
 
 all: build vet test
 
@@ -66,6 +66,26 @@ campaign:
 serve-bench:
 	go test -race -count=1 ./internal/timesvc
 	go run ./cmd/dtpload -duration 300ms -hammer 2s -assert -out BENCH_6.json
+
+# Attribution instrumentation cost: A/B hammer (bare vs striped width
+# histogram on the hot path) refreshing BENCH_7.json. The <5% overhead
+# budget is asserted only on hosts with >= 8 CPUs, like the qps floor.
+attr-bench:
+	go run ./cmd/dtpload -duration 300ms -hammer 2s -attr-bench -assert -out BENCH_7.json
+
+# Flight-recorder smoke: the telemetry tests under the race detector,
+# then a chaos run that silences one peer (grey_loss p=1) so the beacon
+# watchdog demotes the port and trips a bundle, which dtptrace -bundle
+# must validate and summarize. Fails if no bundle appears.
+flight:
+	go test -race -count=1 ./internal/telemetry
+	rm -rf flight-smoke
+	go run ./cmd/dtpsim -topo pair -duration 200ms -time-service \
+		-chaos examples/chaos/breaker.json -flight-dir flight-smoke \
+		-timeline-out flight-smoke/timeline.jsonl
+	test -f flight-smoke/flight-1-00-port_demoted.json
+	go run ./cmd/dtptrace -bundle flight-smoke/flight-1-00-port_demoted.json -topo pair
+	rm -rf flight-smoke
 
 # Regenerate every table and figure (long; see EXPERIMENTS.md).
 experiments:

@@ -51,6 +51,8 @@ var (
 		"attach the internal/timesvc serving plane: TrueTime-style interval clocks on every host, served at /time/<host>/now with -listen")
 	loadQPSFlag = flag.Float64("load-qps", 0,
 		"with -serve-time, drive Poisson read load at this mean rate per host from inside the simulation")
+	timelineEvery = flag.Duration("timeline-every", time.Millisecond,
+		"windowed-timeline sampling cadence (simulated time); served at /timeline with -listen")
 )
 
 func main() {
@@ -178,6 +180,37 @@ func main() {
 		}
 	}
 
+	// Windowed timeline: the black-box view of the run, sampled on the
+	// simulation clock — per-host daemon offsets, trace-ring drop
+	// accounting, and (with -serve-time) each served interval's
+	// interpolated half-width. Served at /timeline as JSONL.
+	tl := telemetry.NewTimeline(sim.FromStd(*timelineEvery), 0)
+	tl.Gauge("trace_dropped", func() float64 { return float64(tracer.Dropped()) })
+	for _, h := range hosts {
+		d := daemons[h]
+		tl.Gauge("daemon_offset_ticks_"+h, func() float64 { return d.OffsetUnits() })
+	}
+	for _, h := range served {
+		svc, ok := services[h]
+		if !ok {
+			continue
+		}
+		c := svc.Clock()
+		tl.Gauge("eps_ps_"+h, func() float64 {
+			iv, err := c.NowInterval()
+			if err != nil {
+				return math.NaN()
+			}
+			return iv.HalfWidthPs()
+		})
+	}
+	tl.Start(sch)
+	if mux != nil {
+		mux.Handle("/timeline", tl)
+		mux.Handle("/healthz", timesvc.HealthHandler(services))
+		fmt.Printf("dtpd: timeline on http://%s/timeline, serving-plane health on /healthz\n", ln.Addr())
+	}
+
 	sch.RunFor(sim.FromStd(shared.Duration))
 
 	fmt.Println("== DTP daemon offsets (estimate - hardware counter), ticks")
@@ -242,6 +275,21 @@ func main() {
 			}
 			fmt.Printf("%-5s %9d %8d %12s %10d %8d\n",
 				h, svc.Publishes(), svc.DegradedTicks(), width, reads, rerrs)
+		}
+
+		// ε-budget attribution: which error source pays for each served
+		// interval's width (same split as /healthz and the
+		// dtp_timesvc_eps_* metrics).
+		fmt.Println("\n== ε-budget attribution per host (share of cumulative served width)")
+		fmt.Printf("%-5s %12s %8s %8s %8s %8s  %s\n",
+			"host", "eps(ns)", "audit", "daemon", "bcast", "resid", "dominant")
+		for _, h := range served {
+			a := services[h].Attribution()
+			fmt.Printf("%-5s %12.1f", h, a.TotalLastPs/1000)
+			for _, c := range a.Components {
+				fmt.Printf(" %7.1f%%", c.Share*100)
+			}
+			fmt.Printf("  %s\n", a.Dominant)
 		}
 
 		// With -listen, keep serving /time/<host>/now past the simulated

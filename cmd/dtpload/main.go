@@ -35,6 +35,7 @@ import (
 
 	"github.com/dtplab/dtp"
 	"github.com/dtplab/dtp/internal/cliutil"
+	"github.com/dtplab/dtp/internal/telemetry"
 	"github.com/dtplab/dtp/internal/timesvc"
 )
 
@@ -48,6 +49,11 @@ var (
 	outFlag     = flag.String("out", "", "write the benchmark record (JSON) to this file")
 	assertFlag  = flag.Bool("assert", false, "fail unless aggregate throughput >= 1M reads/sec (only enforced with >= 8 CPUs)")
 	minQPS      = flag.Float64("min-qps", 1e6, "throughput floor for -assert")
+
+	attrBench = flag.Bool("attr-bench", false,
+		"A/B instrumentation bench: run the hammer twice — bare, then with every reader feeding a striped width histogram — and record the ε-attribution split, width distribution, and instrumentation overhead")
+	maxOverhead = flag.Float64("max-overhead", 0.05,
+		"with -attr-bench and -assert, fail if the instrumented hammer loses more than this qps fraction")
 )
 
 // readerStats is one goroutine's tally, merged after the run.
@@ -87,6 +93,12 @@ func main() {
 	tp, err := sys.TimePlane(dtp.TimePlaneOptions{CalInterval: 10 * time.Millisecond})
 	if err != nil {
 		cliutil.Fatal("dtpload", 1, err)
+	}
+	// -attr-bench: record the calibration phase's timeline (served
+	// widths over simulated time) alongside the attribution split.
+	var tlSim *dtp.Timeline
+	if *attrBench {
+		tlSim = sys.Timeline(dtp.TimelineOptions{Interval: 10 * time.Millisecond})
 	}
 	sys.Run(shared.Duration)
 
@@ -162,6 +174,180 @@ func main() {
 		sample = 1
 	}
 
+	// Wait for the first publish so readers never start on an empty
+	// store.
+	for store.Epoch() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// -attr-bench phase A (or the only phase): the bare fast path.
+	res := runHammer(clock, tb, readers, sample, *hammerFlag, nil)
+
+	// -attr-bench phase B: identical hammer, but every reader owns a
+	// StripeWriter into one shared width histogram — the exact
+	// instrumentation the in-sim serving plane uses for
+	// dtp_timesvc_eps_ps. The qps delta is the cost of always-on
+	// attribution. Phases interleave A,B,A,B and each variant keeps its
+	// best qps: back-to-back measurement on a busy host systematically
+	// penalizes whichever phase runs later.
+	var resB hammerResult
+	var widthHist *telemetry.StripedHistogram
+	qpsBare := res.qps
+	qpsInstr := 0.0
+	var extraSink float64
+	if *attrBench {
+		widthHist = telemetry.NewStripedHistogram(1000, 30, readers)
+		resB = runHammer(clock, tb, readers, sample, *hammerFlag, widthHist)
+		qpsInstr = resB.qps
+		rA := runHammer(clock, tb, readers, sample, *hammerFlag, nil)
+		rB := runHammer(clock, tb, readers, sample, *hammerFlag, widthHist)
+		extraSink = rA.sink + rB.sink
+		qpsBare = math.Max(qpsBare, rA.qps)
+		qpsInstr = math.Max(qpsInstr, rB.qps)
+		widthHist.FlushAll()
+	}
+
+	stopWriter.Store(true)
+	writerWG.Wait()
+
+	reads, errors, checked, covered := res.reads, res.errors, res.checked, res.covered
+	qps := res.qps
+	latP50, latP99 := percentile(res.lats, 0.50), percentile(res.lats, 0.99)
+	widthP50, widthP99 := percentile(res.widths, 0.50), percentile(res.widths, 0.99)
+
+	fmt.Printf("\n== fast-path hammer: %d readers, %v\n", readers, res.elapsed.Round(time.Millisecond))
+	fmt.Printf("reads       %d (%.2fM reads/sec aggregate)\n", reads, qps/1e6)
+	fmt.Printf("read lat    p50 %.0f ns, p99 %.0f ns (sampled 1/%d)\n", latP50, latP99, sample)
+	fmt.Printf("width       p50 %.0f ps, p99 %.0f ps\n", widthP50, widthP99)
+	fmt.Printf("invariant   %d/%d sampled reads covered, %d failed closed\n", covered, checked, errors)
+
+	overhead := 0.0
+	if *attrBench {
+		overhead = 1 - qpsInstr/qpsBare
+		snap := widthHist.Snapshot()
+		fmt.Printf("\n== instrumented hammer (striped width histogram on the hot path)\n")
+		fmt.Printf("reads       %d (best %.2fM vs bare %.2fM reads/sec, overhead %.2f%%)\n",
+			resB.reads, qpsInstr/1e6, qpsBare/1e6, overhead*100)
+		fmt.Printf("width hist  %d observations, p50 %.0f ps, p99 %.0f ps\n",
+			snap.Count, snap.Quantile(0.50), snap.Quantile(0.99))
+		if resB.checked == 0 || resB.covered != resB.checked {
+			cliutil.Fatal("dtpload", 1,
+				fmt.Errorf("instrumented phase violated the interval invariant: %d of %d uncovered",
+					resB.checked-resB.covered, resB.checked))
+		}
+	}
+
+	cores := runtime.NumCPU()
+	asserted := *assertFlag && cores >= 8
+	if checked == 0 || covered != checked {
+		cliutil.Fatal("dtpload", 1,
+			fmt.Errorf("interval invariant violated: %d of %d sampled reads uncovered", checked-covered, checked))
+	}
+	if asserted && qps < *minQPS {
+		cliutil.Fatal("dtpload", 1,
+			fmt.Errorf("throughput %.2fM reads/sec below the %.1fM floor on %d cores", qps/1e6, *minQPS/1e6, cores))
+	}
+	if asserted && *attrBench && overhead > *maxOverhead {
+		cliutil.Fatal("dtpload", 1,
+			fmt.Errorf("striped-histogram instrumentation cost %.2f%% qps, budget %.1f%%",
+				overhead*100, *maxOverhead*100))
+	}
+
+	if *outFlag != "" {
+		record := map[string]any{
+			"benchmark":      "dtpload",
+			"topo":           shared.Topo,
+			"seed":           shared.Seed,
+			"host":           host,
+			"readers":        readers,
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
+			"num_cpu":        cores,
+			"hammer_ms":      res.elapsed.Seconds() * 1e3,
+			"reads":          reads,
+			"qps":            qps,
+			"read_lat_ns":    map[string]float64{"p50": latP50, "p99": latP99},
+			"width_ps":       map[string]float64{"p50": widthP50, "p99": widthP99},
+			"sim_bound_ps":   calSnap.BoundPs,
+			"sim_publishes":  svc.Publishes(),
+			"checked":        checked,
+			"covered":        covered,
+			"failed_closed":  errors,
+			"wall_publishes": publishes.Load(),
+			"asserted_min_qps": func() float64 {
+				if asserted {
+					return *minQPS
+				}
+				return 0
+			}(),
+			"note": fmt.Sprintf("1M reads/sec floor asserted only with -assert and >= 8 CPUs "+
+				"(this record was taken on %d core(s))", cores),
+		}
+		if *attrBench {
+			snap := widthHist.Snapshot()
+			hist := map[string]any{"count": snap.Count}
+			if snap.Count > 0 {
+				hist["mean_ps"] = snap.Mean()
+				hist["p50_ps"] = snap.Quantile(0.50)
+				hist["p90_ps"] = snap.Quantile(0.90)
+				hist["p99_ps"] = snap.Quantile(0.99)
+			}
+			record["attr"] = map[string]any{
+				"qps_bare":         qpsBare,
+				"qps_instrumented": qpsInstr,
+				"overhead":         overhead,
+				"asserted_max_overhead": func() float64 {
+					if asserted {
+						return *maxOverhead
+					}
+					return 0
+				}(),
+				"attribution":   svc.Attribution(),
+				"width_hist_ps": hist,
+			}
+			if tlSim != nil {
+				tlRec := map[string]any{
+					"interval_ms": 10,
+					"rows":        tlSim.Total(),
+					"columns":     tlSim.Columns(),
+				}
+				if q := tlSim.ColumnQuantile("eps_ps_"+host, 0.5); !math.IsNaN(q) {
+					tlRec["eps_p50_ps"] = q
+					tlRec["eps_p99_ps"] = tlSim.ColumnQuantile("eps_ps_"+host, 0.99)
+				}
+				record["timeline"] = tlRec
+			}
+		}
+		j, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			cliutil.Fatal("dtpload", 1, err)
+		}
+		if err := os.WriteFile(*outFlag, append(j, '\n'), 0o644); err != nil {
+			cliutil.Fatal("dtpload", 1, err)
+		}
+		fmt.Printf("record written to %s\n", *outFlag)
+	}
+	// Keep the sink live past the loops.
+	if sink := res.sink + resB.sink + extraSink; math.IsNaN(sink) {
+		fmt.Println(sink)
+	}
+}
+
+// hammerResult is one hammer phase's merged tally.
+type hammerResult struct {
+	elapsed                         time.Duration
+	reads, errors, checked, covered uint64
+	qps                             float64
+	lats, widths                    []float64
+	sink                            float64
+}
+
+// runHammer drives `readers` goroutines over the lock-free fast path
+// for dur, sampling latency/width/coverage every `sample` reads. When
+// hist is non-nil every reader claims a StripeWriter and observes each
+// read's interval width — the always-on attribution instrumentation
+// whose cost -attr-bench measures.
+func runHammer(clock *timesvc.Clock, tb timesvc.WallTimebase, readers, sample int,
+	dur time.Duration, hist *telemetry.StripedHistogram) hammerResult {
 	stats := make([]readerStats, readers)
 	var start sync.WaitGroup
 	var done sync.WaitGroup
@@ -171,6 +357,7 @@ func main() {
 		done.Add(1)
 		go func(st *readerStats) {
 			defer done.Done()
+			w := hist.Writer() // nil-safe: no-op writer without -attr-bench
 			start.Wait()
 			n := 0
 			for !stopReaders.Load() {
@@ -182,6 +369,9 @@ func main() {
 						st.errors++
 					} else {
 						st.sinkEps += iv.EarliestPs
+						if hist != nil {
+							w.Observe(iv.WidthPs())
+						}
 					}
 					st.reads++
 					continue
@@ -204,102 +394,27 @@ func main() {
 				st.latNs = append(st.latNs, float64(lat.Nanoseconds()))
 				st.widthPs = append(st.widthPs, iv.WidthPs())
 			}
+			w.Flush()
 		}(&stats[i])
 	}
 
-	// Wait for the first publish so readers never start on an empty
-	// store, then release them.
-	for store.Epoch() == 0 {
-		time.Sleep(time.Millisecond)
-	}
 	t0 := time.Now()
 	start.Done()
-	time.Sleep(*hammerFlag)
+	time.Sleep(dur)
 	stopReaders.Store(true)
 	done.Wait()
-	elapsed := time.Since(t0)
-	stopWriter.Store(true)
-	writerWG.Wait()
-
-	// Merge.
-	var reads, errors, checked, covered uint64
-	var lats, widths []float64
+	res := hammerResult{elapsed: time.Since(t0)}
 	for i := range stats {
-		reads += stats[i].reads
-		errors += stats[i].errors
-		checked += stats[i].checked
-		covered += stats[i].covered
-		lats = append(lats, stats[i].latNs...)
-		widths = append(widths, stats[i].widthPs...)
+		res.reads += stats[i].reads
+		res.errors += stats[i].errors
+		res.checked += stats[i].checked
+		res.covered += stats[i].covered
+		res.lats = append(res.lats, stats[i].latNs...)
+		res.widths = append(res.widths, stats[i].widthPs...)
+		res.sink += stats[i].sinkEps
 	}
-	qps := float64(reads) / elapsed.Seconds()
-
-	latP50, latP99 := percentile(lats, 0.50), percentile(lats, 0.99)
-	widthP50, widthP99 := percentile(widths, 0.50), percentile(widths, 0.99)
-
-	fmt.Printf("\n== fast-path hammer: %d readers, %v\n", readers, elapsed.Round(time.Millisecond))
-	fmt.Printf("reads       %d (%.2fM reads/sec aggregate)\n", reads, qps/1e6)
-	fmt.Printf("read lat    p50 %.0f ns, p99 %.0f ns (sampled 1/%d)\n", latP50, latP99, sample)
-	fmt.Printf("width       p50 %.0f ps, p99 %.0f ps\n", widthP50, widthP99)
-	fmt.Printf("invariant   %d/%d sampled reads covered, %d failed closed\n", covered, checked, errors)
-
-	cores := runtime.NumCPU()
-	asserted := *assertFlag && cores >= 8
-	if checked == 0 || covered != checked {
-		cliutil.Fatal("dtpload", 1,
-			fmt.Errorf("interval invariant violated: %d of %d sampled reads uncovered", checked-covered, checked))
-	}
-	if asserted && qps < *minQPS {
-		cliutil.Fatal("dtpload", 1,
-			fmt.Errorf("throughput %.2fM reads/sec below the %.1fM floor on %d cores", qps/1e6, *minQPS/1e6, cores))
-	}
-
-	if *outFlag != "" {
-		record := map[string]any{
-			"benchmark":      "dtpload",
-			"topo":           shared.Topo,
-			"seed":           shared.Seed,
-			"host":           host,
-			"readers":        readers,
-			"gomaxprocs":     runtime.GOMAXPROCS(0),
-			"num_cpu":        cores,
-			"hammer_ms":      elapsed.Seconds() * 1e3,
-			"reads":          reads,
-			"qps":            qps,
-			"read_lat_ns":    map[string]float64{"p50": latP50, "p99": latP99},
-			"width_ps":       map[string]float64{"p50": widthP50, "p99": widthP99},
-			"sim_bound_ps":   calSnap.BoundPs,
-			"sim_publishes":  svc.Publishes(),
-			"checked":        checked,
-			"covered":        covered,
-			"failed_closed":  errors,
-			"wall_publishes": publishes.Load(),
-			"asserted_min_qps": func() float64 {
-				if asserted {
-					return *minQPS
-				}
-				return 0
-			}(),
-			"note": fmt.Sprintf("1M reads/sec floor asserted only with -assert and >= 8 CPUs "+
-				"(this record was taken on %d core(s))", cores),
-		}
-		j, err := json.MarshalIndent(record, "", "  ")
-		if err != nil {
-			cliutil.Fatal("dtpload", 1, err)
-		}
-		if err := os.WriteFile(*outFlag, append(j, '\n'), 0o644); err != nil {
-			cliutil.Fatal("dtpload", 1, err)
-		}
-		fmt.Printf("record written to %s\n", *outFlag)
-	}
-	// Keep the sink live past the loops.
-	var sink float64
-	for i := range stats {
-		sink += stats[i].sinkEps
-	}
-	if math.IsNaN(sink) {
-		fmt.Println(sink)
-	}
+	res.qps = float64(res.reads) / res.elapsed.Seconds()
+	return res
 }
 
 // percentile returns the q-quantile of xs (sorted in place; 0 when

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,7 +45,11 @@ var (
 	traceCap   = flag.Int("trace-cap", 1<<20, "trace ring capacity; firehose kinds evict one-time INIT events from small rings")
 	sweepSeeds = flag.Int("sweep-seeds", 1, "campaign mode: run N consecutive seeds starting at -seed")
 	gridFlag   = flag.String("campaign", "", "campaign mode: run the grid declared in this JSON file")
-	timeSvc    = flag.Bool("time-service", false, "campaign mode: attach the serving plane and probe every served interval against ground truth")
+	timeSvc    = flag.Bool("time-service", false, "attach the serving plane: in campaign mode probe every served interval against ground truth; in single mode serve + drive in-sim read load")
+
+	timelineOut   = flag.String("timeline-out", "", "single mode: write the run's windowed timeline as JSONL")
+	timelineEvery = flag.Duration("timeline-every", 100*time.Microsecond, "timeline sampling cadence (simulated time)")
+	flightDir     = flag.String("flight-dir", "", "arm the flight recorder: bundles land here (campaign mode: under per-run subdirectories)")
 )
 
 func main() {
@@ -90,6 +95,9 @@ func runCampaign() {
 		if shared.Chaos != "" {
 			g.Chaos = []string{shared.Chaos}
 		}
+	}
+	if *flightDir != "" {
+		g.FlightDir = *flightDir
 	}
 	if err := g.Validate(); err != nil {
 		cliutil.Fatal("dtpsim", 2, err)
@@ -142,7 +150,8 @@ func runSingle() {
 	}
 	var reg *dtp.MetricsRegistry
 	var tracer *dtp.Tracer
-	if shared.MetricsOut != "" || shared.TraceOut != "" || *auditFlag {
+	if shared.MetricsOut != "" || shared.TraceOut != "" || *auditFlag ||
+		*timelineOut != "" || *flightDir != "" {
 		reg = dtp.NewMetricsRegistry()
 		tracer = dtp.NewTracer(*traceCap)
 		if shared.TraceOut != "" {
@@ -205,6 +214,46 @@ func runSingle() {
 		fmt.Println("links saturated with jumbo frames")
 	}
 
+	// Serving plane, timeline, and flight recorder attach after
+	// Audit/Chaos so every column and state provider binds to what this
+	// run actually carries.
+	var tp *dtp.TimePlane
+	if *timeSvc {
+		if tp, err = sys.TimePlane(dtp.TimePlaneOptions{
+			CalInterval: 10 * time.Millisecond,
+			Auditor:     aud,
+			LoadQPS:     5000, // in-sim readers exercising the seqlock fast path
+		}); err != nil {
+			cliutil.Fatal("dtpsim", 2, err)
+		}
+		fmt.Printf("time service: %s broadcasting UTC, serving %v\n", tp.Broadcaster(), tp.Hosts())
+	}
+	var tl *dtp.Timeline
+	if *timelineOut != "" || *flightDir != "" {
+		tl = sys.Timeline(dtp.TimelineOptions{Interval: *timelineEvery})
+	}
+	var rec *dtp.FlightRecorder
+	if *flightDir != "" {
+		if rec, err = sys.FlightRecorder(dtp.FlightOptions{Dir: *flightDir}); err != nil {
+			cliutil.Fatal("dtpsim", 2, err)
+		}
+		// A served read that fails closed on a *stale* snapshot is a
+		// black-box trigger: the publish loop stopped while readers
+		// still asked for time.
+		if tp != nil {
+			for _, h := range tp.Hosts() {
+				if ld := tp.Load(h); ld != nil {
+					host := h
+					ld.OnError = func(err error) {
+						if errors.Is(err, dtp.ErrTimeStale) {
+							rec.Trigger("read_stale", host)
+						}
+					}
+				}
+			}
+		}
+	}
+
 	fmt.Printf("%12s %14s %14s %10s\n", "t", "max offset", "bound", "ok")
 	var worst int64
 	for elapsed := time.Duration(0); elapsed < shared.Duration; elapsed += *watchFlag {
@@ -226,11 +275,25 @@ func runSingle() {
 		if err := eng.Verify(); err != nil {
 			fmt.Fprintln(os.Stderr, "dtpsim:", err)
 			chaosOK = false
+			if rec != nil {
+				rec.Trigger("chaos_verify_failed", err.Error())
+			}
 		}
 		fmt.Println(eng.Summary())
 	}
 	if aud != nil {
 		fmt.Println(aud.Summary())
+	}
+	if tp != nil {
+		for _, h := range tp.Hosts() {
+			if a, err := tp.Attribution(h); err == nil && a.Publishes > 0 {
+				fmt.Printf("eps budget %s: %.0f ps served", h, a.TotalLastPs)
+				for _, c := range a.Components {
+					fmt.Printf("  %s %.0f%%", c.Name, c.Share*100)
+				}
+				fmt.Printf("  (dominant: %s)\n", a.Dominant)
+			}
+		}
 	}
 	if shared.MetricsOut != "" {
 		if err := cliutil.WriteFile(shared.MetricsOut, func(w io.Writer) error {
@@ -249,12 +312,36 @@ func runSingle() {
 			}
 		}
 		events = append(events, final...)
+		total := tracer.Total()
 		if err := cliutil.WriteFile(shared.TraceOut, func(w io.Writer) error {
+			// The header's drop count is what the ring evicted beyond
+			// the merged early+final window.
+			if err := telemetry.WriteTraceHeader(w, len(events), total, total-uint64(len(events))); err != nil {
+				return err
+			}
 			return telemetry.WriteEvents(w, events)
 		}); err != nil {
 			cliutil.Fatal("dtpsim", 1, err)
 		}
-		fmt.Printf("trace written to %s (%d events)\n", shared.TraceOut, len(events))
+		fmt.Printf("trace written to %s (%d events, %d dropped)\n",
+			shared.TraceOut, len(events), total-uint64(len(events)))
+	}
+	if *timelineOut != "" {
+		if err := cliutil.WriteFile(*timelineOut, tl.WriteJSONL); err != nil {
+			cliutil.Fatal("dtpsim", 1, err)
+		}
+		fmt.Printf("timeline written to %s (%d samples)\n", *timelineOut, tl.Total())
+	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			cliutil.Fatal("dtpsim", 1, err)
+		}
+		for _, b := range rec.Bundles() {
+			fmt.Printf("flight bundle: %s\n", b)
+		}
+		if len(rec.Bundles()) == 0 {
+			fmt.Printf("flight recorder armed, no triggers tripped\n")
+		}
 	}
 	if !chaosOK {
 		os.Exit(1)

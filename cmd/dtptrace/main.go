@@ -14,13 +14,24 @@
 //
 //	dtpsim -topo tree -duration 200ms -trace-out trace.jsonl -metrics-out m.prom
 //	dtptrace -trace trace.jsonl -topo tree -metrics m.prom -assert-owd 43:45
+//
+// With -bundle it instead validates a flight-recorder bundle
+// (dtp-flight/1), prints its summary (reason, trigger time, trace
+// window, timeline shape, state sections), warns when the trace ring
+// dropped events before the trigger, and runs the same causal analyzer
+// over the bundle's embedded trace window:
+//
+//	dtptrace -bundle flight/flight-1-00-port_demoted.json -topo pair
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -37,7 +48,8 @@ var (
 	// recorded topology)
 	shared = cliutil.Flags{}
 
-	traceFlag  = flag.String("trace", "", "JSONL trace file to analyze (required)")
+	traceFlag  = flag.String("trace", "", "JSONL trace file to analyze")
+	bundleFlag = flag.String("bundle", "", "flight bundle (dtp-flight/1 JSON) to validate, summarize, and analyze; exits 1 if the bundle is invalid")
 	metricsIn  = flag.String("metrics", "", "optional Prometheus text dump to summarize")
 	owdFlag    = flag.String("assert-owd", "", "fail unless every measured OWD lies in lo:hi port cycles (paper: 43:45 on 10 m cables)")
 	topFlag    = flag.Int("top", 5, "causality chains to print")
@@ -50,19 +62,10 @@ func main() {
 	if err := shared.Validate(); err != nil {
 		cliutil.Fatal("dtptrace", 2, err)
 	}
-	if *traceFlag == "" {
-		fmt.Fprintln(os.Stderr, "dtptrace: -trace is required")
+	if *traceFlag == "" && *bundleFlag == "" {
+		fmt.Fprintln(os.Stderr, "dtptrace: -trace or -bundle is required")
 		flag.Usage()
 		os.Exit(2)
-	}
-	f, err := os.Open(*traceFlag)
-	if err != nil {
-		fatal(err)
-	}
-	events, err := telemetry.ReadJSONL(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
 	}
 
 	var g *topo.Graph
@@ -72,6 +75,35 @@ func main() {
 			fatal(err)
 		}
 		g = &parsed
+	}
+
+	// Bundle mode: validate the flight bundle, summarize it, and run the
+	// causal analyzer over its embedded trace window. Unlike plain trace
+	// mode, recorded bound violations do NOT fail the exit status — a
+	// bundle exists precisely because something broke; dtptrace's job
+	// here is to certify the black box itself is intact and readable.
+	if *bundleFlag != "" {
+		events, err := summarizeBundle(os.Stdout, *bundleFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if len(events) > 0 {
+			report := audit.Analyze(events, g, sim.FromStd(*windowFlag))
+			if err := report.WriteText(os.Stdout, *topFlag); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	f, err := os.Open(*traceFlag)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := telemetry.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
 	}
 
 	report := audit.Analyze(events, g, sim.FromStd(*windowFlag))
@@ -105,6 +137,59 @@ func main() {
 	if len(report.Violations) > 0 {
 		os.Exit(1)
 	}
+}
+
+// summarizeBundle validates a flight bundle via telemetry.LoadBundle,
+// prints a human summary, and returns the embedded trace window for
+// causal analysis. A non-zero ring-drop count gets a warning line: the
+// trailing window is intact, but chains reaching further back are
+// incomplete.
+func summarizeBundle(w io.Writer, path string) ([]telemetry.Event, error) {
+	b, err := telemetry.LoadBundle(path)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "== Flight bundle %s\n", filepath.Base(path))
+	fmt.Fprintf(w, "schema   %s  seed %d  seq %d\n", b.Schema, b.Seed, b.Seq)
+	fmt.Fprintf(w, "reason   %s", b.Reason)
+	if b.Detail != "" {
+		fmt.Fprintf(w, " (%s)", b.Detail)
+	}
+	fmt.Fprintf(w, "\ntrigger  t = %.3f ms simulated\n", float64(b.TPs)/1e9)
+	var events []telemetry.Event
+	if b.Trace != nil {
+		fmt.Fprintf(w, "trace    %d events embedded (%d recorded, %d ring-dropped)\n",
+			len(b.Trace.Events), b.Trace.Total, b.Trace.Dropped)
+		if b.Trace.Dropped > 0 {
+			fmt.Fprintf(w, "warning  %d events fell out of the trace ring before the trigger; causal chains may be truncated\n",
+				b.Trace.Dropped)
+		}
+		events = make([]telemetry.Event, len(b.Trace.Events))
+		for i, e := range b.Trace.Events {
+			k, _ := telemetry.KindFromString(e.Kind) // kinds validated by LoadBundle
+			events[i] = telemetry.Event{
+				Seq: e.Seq, At: sim.Time(e.TPs), Kind: k,
+				Who: e.Who, V1: e.V1, V2: e.V2, Detail: e.Detail,
+			}
+		}
+	}
+	if b.Timeline != nil {
+		fmt.Fprintf(w, "timeline %d rows x %d columns, sampled every %.3f ms\n",
+			len(b.Timeline.Rows), len(b.Timeline.Columns), float64(b.Timeline.IntervalPs)/1e9)
+	}
+	if b.Metrics != "" {
+		fmt.Fprintf(w, "metrics  %d bytes of Prometheus exposition\n", len(b.Metrics))
+	}
+	if len(b.State) > 0 {
+		keys := make([]string, 0, len(b.State))
+		for k := range b.State {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "state    %s\n", strings.Join(keys, ", "))
+	}
+	fmt.Fprintln(w, "bundle   valid")
+	return events, nil
 }
 
 // parseRange parses "43:45" or "43-45".

@@ -269,6 +269,10 @@ type System struct {
 	daemons    []*Daemon
 	timeplanes []*TimePlane
 	closed     bool
+
+	// timeline is the last System.Timeline, the default bundled into
+	// FlightRecorder dumps.
+	timeline *Timeline
 }
 
 // New builds a System over the topology.

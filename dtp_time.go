@@ -238,6 +238,23 @@ func (tp *TimePlane) TimeHandler(host string) (http.Handler, error) {
 	return timesvc.Handler(host, c), nil
 }
 
+// HealthHandler serves the plane's /healthz summary: per served host,
+// publish/degraded counters, the live bound, and the ε-budget
+// attribution identifying which error source dominates the served
+// interval width.
+func (tp *TimePlane) HealthHandler() http.Handler {
+	return timesvc.HealthHandler(tp.services)
+}
+
+// Attribution returns the named host's ε-budget split.
+func (tp *TimePlane) Attribution(host string) (timesvc.Attribution, error) {
+	svc, err := tp.Service(host)
+	if err != nil {
+		return timesvc.Attribution{}, err
+	}
+	return svc.Attribution(), nil
+}
+
 // stop halts the plane's broadcaster, services, and loads (daemons are
 // tracked and stopped by the System itself).
 func (tp *TimePlane) stop() {

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bytes"
 	"os"
+	"reflect"
 	"testing"
 )
 
@@ -57,7 +58,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	for i := range serial.Results {
 		sr, pr := serial.Results[i], parallel.Results[i]
 		sr.Wall, pr.Wall = 0, 0
-		if sr != pr {
+		if !reflect.DeepEqual(sr, pr) {
 			t.Fatalf("run %d diverged:\n jobs=1: %+v\n jobs=8: %+v", i, sr, pr)
 		}
 	}

@@ -90,6 +90,14 @@ type Grid struct {
 	// SyncTimeout bounds how long each run may take to complete INIT
 	// (default 1 s simulated).
 	SyncTimeout Duration `json:"sync_timeout,omitempty"`
+
+	// FlightDir, when set, arms observability on every run: a metrics
+	// registry + tracer, a Timeline at the sampling cadence, and a
+	// flight recorder whose bundles for run N land under
+	// <FlightDir>/run-NNN/ next to that run's timeline.jsonl. Paths and
+	// file bytes are pure functions of the grid point, so output is
+	// identical across -jobs counts.
+	FlightDir string `json:"flight_dir,omitempty"`
 }
 
 // Point is one fully resolved run of a campaign grid.

@@ -78,6 +78,13 @@ type Result struct {
 	TimeWidthP50Ps float64 `json:"time_width_p50_ps,omitempty"`
 	TimeWidthP99Ps float64 `json:"time_width_p99_ps,omitempty"`
 
+	// TimelinePath is the run's exported timeline JSONL (set when the
+	// grid's FlightDir armed observability); FlightBundles lists the
+	// flight-recorder bundles the run tripped, in trigger order. Both
+	// are pure functions of (grid, point), so they stay deterministic.
+	TimelinePath  string   `json:"timeline,omitempty"`
+	FlightBundles []string `json:"flight_bundles,omitempty"`
+
 	// Wall is the run's host wall-clock cost. Excluded from JSON: it
 	// would break byte-determinism across worker counts.
 	Wall time.Duration `json:"-"`

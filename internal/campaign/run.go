@@ -1,7 +1,10 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -116,6 +119,14 @@ func RunPoint(g Grid, p Point) (res Result) {
 	if g.BER > 0 {
 		opts = append(opts, dtp.WithBER(g.BER), dtp.WithParity())
 	}
+	// FlightDir arms the observability plane: every run gets its own
+	// registry + tracer (runs stay independent), a timeline, and a
+	// flight recorder dumping into the run's directory.
+	flightRun := ""
+	if g.FlightDir != "" {
+		flightRun = filepath.Join(g.FlightDir, fmt.Sprintf("run-%03d", p.Index))
+		opts = append(opts, dtp.WithTelemetry(dtp.NewMetricsRegistry(), dtp.NewTracer(0)))
+	}
 	var scenario *dtp.ChaosScenario
 	if p.Chaos != "" {
 		if scenario, err = dtp.LoadChaosScenario(p.Chaos); err != nil {
@@ -172,6 +183,21 @@ func RunPoint(g Grid, p Point) (res Result) {
 		sys.SetUniformLoad(9022)
 	}
 
+	// Timeline + flight recorder attach after Audit/TimePlane so every
+	// column and state provider binds; the recorder arms on unexcused
+	// bound violations and watchdog demotions, and the probe loop below
+	// adds the serving-plane trigger (a read failing closed on
+	// staleness).
+	var tl *dtp.Timeline
+	var rec *dtp.FlightRecorder
+	if flightRun != "" {
+		tl = sys.Timeline(dtp.TimelineOptions{Interval: g.SamplePeriod.Std()})
+		if rec, err = sys.FlightRecorder(dtp.FlightOptions{Dir: flightRun}); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+
 	// Sample the worst pairwise offset at a fixed simulated cadence;
 	// the percentiles summarize the sampled envelope.
 	sample := g.SamplePeriod.Std()
@@ -189,6 +215,12 @@ func RunPoint(g Grid, p Point) (res Result) {
 				w, covered, err := tp.ReadCheck(h)
 				if err != nil {
 					res.TimeFailedClosed++
+					// No-snapshot reads are honest warmup; a *stale*
+					// snapshot means the publish loop died mid-run —
+					// exactly what the black box exists to explain.
+					if rec != nil && errors.Is(err, dtp.ErrTimeStale) {
+						rec.Trigger("read_stale", h)
+					}
 					continue
 				}
 				res.TimeReads++
@@ -224,12 +256,43 @@ func RunPoint(g Grid, p Point) (res Result) {
 		if err := eng.Verify(); err != nil {
 			res.ChaosOK = false
 			res.ChaosErr = err.Error()
+			if rec != nil {
+				rec.Trigger("chaos_verify_failed", err.Error())
+			}
 		}
 	}
 	res.AuditChecks = aud.Checks()
 	res.AuditViolations = aud.Violations()
 	res.AuditExcused = aud.ExcusedViolations()
+
+	if rec != nil {
+		if err := writeTimeline(tl, flightRun); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.TimelinePath = filepath.Join(flightRun, "timeline.jsonl")
+		res.FlightBundles = rec.Bundles()
+		if err := rec.Err(); err != nil {
+			// A bundle that failed to land is a run-level failure: the
+			// operator asked for the black box and did not get it.
+			res.Err = err.Error()
+		}
+	}
 	return res
+}
+
+// writeTimeline exports a run's timeline window as JSONL into its
+// flight directory (already created by the recorder).
+func writeTimeline(tl *dtp.Timeline, dir string) error {
+	f, err := os.Create(filepath.Join(dir, "timeline.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // owdRange scans every link direction for the one-way delay its port

@@ -90,6 +90,11 @@ func (n *Network) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 			telemetry.ExponentialBuckets(1, 2, 16)),
 	}
 	n.tel.offBatch = n.tel.offsets.Batch()
+	if reg != nil && tr != nil {
+		reg.CounterFunc("dtp_trace_dropped_total",
+			"Trace events the ring buffer has evicted; a reader of the retained trace must not mistake it for a complete history.",
+			tr.Dropped)
+	}
 	for _, lp := range n.linkPorts {
 		lp[0].tname = lp[0].Name()
 		lp[1].tname = lp[1].Name()

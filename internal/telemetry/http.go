@@ -8,8 +8,10 @@ import (
 )
 
 // Handler returns an http.Handler serving the registry at /metrics
-// (Prometheus text exposition) and the tracer at /trace (JSONL). Either
-// argument may be nil, in which case its endpoint serves an empty body.
+// (Prometheus text exposition) and the tracer at /trace (JSONL with a
+// dtp-trace/1 header line carrying drop accounting). Either argument
+// may be nil: a nil registry serves an empty body, a nil tracer a
+// zeroed header.
 //
 // /trace supports query filtering:
 //
@@ -56,6 +58,7 @@ func Handler(r *Registry, t *Tracer) http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteTraceHeader(w, len(events), t.Total(), t.Dropped())
 		_ = WriteEvents(w, events)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {

@@ -55,8 +55,11 @@ func TestHandlerTraceRoute(t *testing.T) {
 	if code != 200 || ct != "application/x-ndjson" {
 		t.Fatalf("status %d content type %q", code, ct)
 	}
-	if n := strings.Count(body, "\n"); n != 3 {
-		t.Fatalf("%d lines, want 3:\n%s", n, body)
+	if n := strings.Count(body, "\n"); n != 4 {
+		t.Fatalf("%d lines, want header + 3 events:\n%s", n, body)
+	}
+	if !strings.HasPrefix(body, `{"schema":"dtp-trace/1","events":3,"total":3,"dropped":0}`) {
+		t.Fatalf("missing trace header:\n%s", body)
 	}
 }
 
@@ -94,11 +97,11 @@ func TestHandlerTraceLimit(t *testing.T) {
 		t.Fatalf("status %d", code)
 	}
 	lines := strings.Split(strings.TrimSpace(body), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("%d lines, want 2:\n%s", len(lines), body)
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 events:\n%s", len(lines), body)
 	}
 	// Limit keeps the most recent events.
-	if !strings.Contains(lines[1], `"v1":9`) {
+	if !strings.Contains(lines[2], `"v1":9`) {
 		t.Fatalf("limit did not keep the tail:\n%s", body)
 	}
 
@@ -113,10 +116,11 @@ func TestHandlerNilBackends(t *testing.T) {
 	if code, _, body := get(t, nil, nil, "/metrics"); code != 200 || body != "" {
 		t.Fatalf("nil registry: status %d body %q", code, body)
 	}
-	if code, _, body := get(t, nil, nil, "/trace"); code != 200 || body != "" {
+	zeroHdr := `{"schema":"dtp-trace/1","events":0,"total":0,"dropped":0}` + "\n"
+	if code, _, body := get(t, nil, nil, "/trace"); code != 200 || body != zeroHdr {
 		t.Fatalf("nil tracer: status %d body %q", code, body)
 	}
-	if code, _, body := get(t, nil, nil, "/trace?kind=synced&limit=5"); code != 200 || body != "" {
+	if code, _, body := get(t, nil, nil, "/trace?kind=synced&limit=5"); code != 200 || body != zeroHdr {
 		t.Fatalf("nil tracer with filters: status %d body %q", code, body)
 	}
 }

@@ -106,6 +106,26 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 	return r.lookup(name, help, "counter", labels, func() metric { return &Counter{} }).(*Counter)
 }
 
+// CounterFunc registers a scrape-time counter: fn is invoked at each
+// export to produce the value, so state that already maintains its own
+// count (the Tracer's drop tally) exports without double bookkeeping.
+// Re-registration keeps the first fn. Nil-safe.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...string) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.lookup(name, help, "counter", labels, func() metric { return &funcCounter{fn: fn} })
+}
+
+// funcCounter renders fn() at scrape time.
+type funcCounter struct {
+	fn func() uint64
+}
+
+func (c *funcCounter) writeExposition(b *strings.Builder, name, labels string) {
+	writeSample(b, name, labels, float64(c.fn()))
+}
+
 // Gauge registers (or finds) a float gauge. Nil-safe like Counter.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	if r == nil {

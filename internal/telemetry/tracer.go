@@ -133,6 +133,12 @@ type Event struct {
 type Tracer struct {
 	mask atomic.Uint32 // bit i set => Kind(i) recorded
 
+	// obs, when set, is invoked with each recorded event after the ring
+	// mutex is released — so an observer may call Events()/Dropped()
+	// without deadlocking. The flight recorder arms this to turn
+	// specific kinds into dump triggers.
+	obs atomic.Pointer[func(Event)]
+
 	mu    sync.Mutex
 	buf   []Event
 	next  int
@@ -192,12 +198,32 @@ func (t *Tracer) Record(at sim.Time, k Kind, who string, v1, v2 int64, detail st
 	}
 	t.mu.Lock()
 	t.total++
-	t.buf[t.next] = Event{Seq: t.total, At: at, Kind: k, Who: who, V1: v1, V2: v2, Detail: detail}
+	e := Event{Seq: t.total, At: at, Kind: k, Who: who, V1: v1, V2: v2, Detail: detail}
+	t.buf[t.next] = e
 	t.next = (t.next + 1) % len(t.buf)
 	if t.count < len(t.buf) {
 		t.count++
 	}
 	t.mu.Unlock()
+	if fn := t.obs.Load(); fn != nil {
+		(*fn)(e)
+	}
+}
+
+// OnRecord installs an observer called with every recorded event, after
+// the ring mutex is released (so it may read the tracer back). One
+// observer at a time; nil uninstalls. Install before recording starts
+// or from the recording goroutine — the pointer swap is atomic, but an
+// observer installed mid-run only sees subsequent events.
+func (t *Tracer) OnRecord(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.obs.Store(nil)
+		return
+	}
+	t.obs.Store(&fn)
 }
 
 // Events returns the retained events in chronological order.
@@ -227,6 +253,19 @@ func (t *Tracer) Total() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total
+}
+
+// Dropped returns how many recorded events the ring has evicted — the
+// gap a reader of Events() must not mistake for a complete history.
+// Exported as dtp_trace_dropped_total and stamped into every JSONL
+// export header.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(t.count)
 }
 
 // CountKind returns how many retained events have the given kind.

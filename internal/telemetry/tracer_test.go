@@ -84,15 +84,19 @@ func TestJSONLSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d lines, want 2", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 events", len(lines))
 	}
-	want0 := `{"seq":1,"t_ps":1280640,"kind":"beacon_rx","who":"s1[2]","v1":-1,"v2":0}`
-	if lines[0] != want0 {
-		t.Fatalf("line 0:\n got %s\nwant %s", lines[0], want0)
+	wantHdr := `{"schema":"dtp-trace/1","events":2,"total":2,"dropped":0}`
+	if lines[0] != wantHdr {
+		t.Fatalf("header:\n got %s\nwant %s", lines[0], wantHdr)
 	}
-	if !strings.Contains(lines[1], `"detail":"synced"`) {
-		t.Fatalf("line 1 missing detail: %s", lines[1])
+	want1 := `{"seq":1,"t_ps":1280640,"kind":"beacon_rx","who":"s1[2]","v1":-1,"v2":0}`
+	if lines[1] != want1 {
+		t.Fatalf("line 1:\n got %s\nwant %s", lines[1], want1)
+	}
+	if !strings.Contains(lines[2], `"detail":"synced"`) {
+		t.Fatalf("line 2 missing detail: %s", lines[2])
 	}
 }
 

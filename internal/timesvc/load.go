@@ -25,6 +25,11 @@ type Load struct {
 	rng *sim.RNG
 	cfg LoadConfig
 
+	// OnError, when set, is invoked (on the simulation goroutine) for
+	// every read that fails closed. The flight recorder hooks it to
+	// treat a stale read as a dump trigger. Set before Start.
+	OnError func(error)
+
 	reads    uint64
 	errors   uint64
 	covered  uint64
@@ -89,6 +94,9 @@ func (l *Load) arrive() {
 	case err != nil:
 		l.errors++
 		l.mErrors.Inc()
+		if l.OnError != nil {
+			l.OnError(err)
+		}
 	default:
 		if covered {
 			l.covered++

@@ -1,6 +1,8 @@
 package timesvc
 
 import (
+	"sync/atomic"
+
 	"github.com/dtplab/dtp/internal/audit"
 	"github.com/dtplab/dtp/internal/daemon"
 	"github.com/dtplab/dtp/internal/sim"
@@ -123,9 +125,16 @@ type Service struct {
 	store Store
 	clock *Clock // TSC-timebase clock for in-sim reads
 
-	epoch     uint64
-	publishes uint64
-	degraded  uint64
+	epoch uint64
+	// publishes/degraded are atomic because the /healthz handler reads
+	// them from HTTP goroutines while the publish tick writes them.
+	publishes atomic.Uint64
+	degraded  atomic.Uint64
+
+	// attr is the ε-budget split of every published half-width,
+	// recorded unconditionally (cheap: eight atomic stores per 10 ms
+	// publish tick) so Attribution() works even without a Registry.
+	attr attrState
 
 	event   *sim.Event
 	stopped bool
@@ -134,6 +143,9 @@ type Service struct {
 	mPublishes *telemetry.Counter
 	mDegraded  [len(degradedReasons)]*telemetry.Counter
 	mBound     *telemetry.Gauge
+	mEpsLast   [numAttrComponents]*telemetry.Gauge
+	hEps       [numAttrComponents]*telemetry.StripedHistogram
+	wEps       [numAttrComponents]*telemetry.StripeWriter
 }
 
 // NewService wires a host's daemon, UTC follower, and the network
@@ -164,6 +176,17 @@ func (s *Service) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	s.mBound = reg.Gauge("dtp_timesvc_bound_ps",
 		"Uncertainty half-width of the last published snapshot, in picoseconds.",
 		"host", s.host)
+	for i, comp := range AttrComponentNames {
+		s.mEpsLast[i] = reg.Gauge("dtp_timesvc_eps_last_ps",
+			"Last published half-width component, in picoseconds.",
+			"host", s.host, "component", comp)
+		// One stripe per component: the publish tick is the only writer.
+		// Unit 1 ns with 30 power-of-two buckets spans 1 ns .. ~0.5 ms.
+		s.hEps[i] = reg.StripedHistogram("dtp_timesvc_eps_ps",
+			"Published half-width components, in picoseconds.",
+			1000, 30, 1, "host", s.host, "component", comp)
+		s.wEps[i] = s.hEps[i].Writer()
+	}
 }
 
 // Start schedules the periodic publish tick.
@@ -193,11 +216,13 @@ func (s *Service) Store() *Store { return &s.store }
 // timebase. Only usable on the simulation goroutine.
 func (s *Service) Clock() *Clock { return s.clock }
 
-// Publishes returns how many snapshots have been published.
-func (s *Service) Publishes() uint64 { return s.publishes }
+// Publishes returns how many snapshots have been published. Safe from
+// any goroutine.
+func (s *Service) Publishes() uint64 { return s.publishes.Load() }
 
 // DegradedTicks returns how many publish ticks found no honest bound.
-func (s *Service) DegradedTicks() uint64 { return s.degraded }
+// Safe from any goroutine.
+func (s *Service) DegradedTicks() uint64 { return s.degraded.Load() }
 
 // Config returns the effective configuration (defaults filled).
 func (s *Service) Config() ServiceConfig { return s.cfg }
@@ -232,23 +257,25 @@ func (s *Service) publish() {
 		return
 	}
 
-	// Counter-domain error, in units: the audited cross-host hardware
-	// disagreement (4TD), this daemon's self-reported estimate error
-	// (adaptive — a PCIe contention spike widens it for one calibration
-	// interval), the broadcaster's self-reported error shipped inside
-	// the anchor pair (NTP root-dispersion style), and the fixed
-	// software margin on top.
-	unitErr := float64(boundUnits+s.cfg.SoftwareMarginUnits) +
-		s.d.EstimateErrorUnits() + s.f.AnchorErrUnits()
-	eps := unitErr * s.f.Ratio()
-	// Broadcast estimation error in UTC ps: the follower's realized
-	// one-interval prediction residual, with tail factor and cold-start
-	// floor.
-	if r := s.cfg.ResidualFactor * s.f.ResidualPs(); r > s.cfg.ResidualFloorPs {
-		eps += r
-	} else {
-		eps += s.cfg.ResidualFloorPs
+	// Counter-domain error, split per source and converted to UTC ps so
+	// the budget is attributable: the audited cross-host hardware
+	// disagreement (4TD) plus the fixed software margin, this daemon's
+	// self-reported estimate error (adaptive — a PCIe contention spike
+	// widens it for one calibration interval), the broadcaster's
+	// self-reported error shipped inside the anchor pair (NTP
+	// root-dispersion style), and the follower's realized one-interval
+	// prediction residual with tail factor and cold-start floor.
+	ratio := s.f.Ratio()
+	var comps [numAttrComponents]float64
+	comps[attrAudit] = float64(boundUnits+s.cfg.SoftwareMarginUnits) * ratio
+	comps[attrDaemon] = s.d.EstimateErrorUnits() * ratio
+	comps[attrBcast] = s.f.AnchorErrUnits() * ratio
+	comps[attrResid] = s.cfg.ResidualFloorPs
+	if r := s.cfg.ResidualFactor * s.f.ResidualPs(); r > comps[attrResid] {
+		comps[attrResid] = r
 	}
+	eps := comps[attrAudit] + comps[attrDaemon] + comps[attrBcast] + comps[attrResid]
+	s.attr.record(&comps)
 
 	s.epoch++
 	s.store.Publish(Snapshot{
@@ -262,9 +289,16 @@ func (s *Service) publish() {
 		DriftPPM: s.cfg.DriftPPM,
 		MaxAgePs: int64(s.cfg.MaxAge),
 	})
-	s.publishes++
+	s.publishes.Add(1)
 	s.mPublishes.Inc()
 	s.mBound.Set(eps)
+	for i, v := range comps {
+		s.mEpsLast[i].Set(v)
+		// Flush per publish: one atomic fold per 10 ms keeps the
+		// registry scrape (and every deterministic export) exact.
+		s.wEps[i].Observe(v)
+		s.wEps[i].Flush()
+	}
 	if s.tr.Enabled(telemetry.KindTimesvcPublish) {
 		s.tr.Record(s.sch.Now(), telemetry.KindTimesvcPublish, s.host,
 			int64(eps), int64(s.epoch), "")
@@ -272,7 +306,7 @@ func (s *Service) publish() {
 }
 
 func (s *Service) degrade(reason int) {
-	s.degraded++
+	s.degraded.Add(1)
 	s.mDegraded[reason].Inc()
 	if s.tr.Enabled(telemetry.KindTimesvcDegraded) {
 		s.tr.Record(s.sch.Now(), telemetry.KindTimesvcDegraded, s.host,
