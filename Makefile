@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos campaign serve-bench flight attr-bench
+.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos campaign byzantine serve-bench flight attr-bench
 
 all: build vet test
 
@@ -56,6 +56,15 @@ campaign:
 	go test -race -count=1 ./internal/campaign ./internal/par ./internal/cliutil
 	go run ./cmd/dtpsim -topo chain:3 -duration 5ms -sweep-seeds 4 -jobs 4 > /dev/null
 	go run ./cmd/dtpsim -campaign examples/campaign/smoke.json -jobs 4 > /dev/null
+
+# Byzantine tolerance: hardened-mode admission/quarantine tests and the
+# break-even campaign grid under the race detector, then the paired
+# liar demo — plain mode must fail the verdict (exit 1), hardened mode
+# must pass it with zero unexcused violations (exit 0).
+byzantine:
+	go test -race -count=1 -run 'Harden|Admit|Quarantine|Liar|Byzantine' ./internal/core ./internal/chaos ./internal/campaign
+	! go run ./cmd/dtpsim -topo tree -chaos examples/chaos/liar.json -duration 160ms > /dev/null
+	go run ./cmd/dtpsim -topo tree -chaos examples/chaos/liar.json -duration 160ms -hardened > /dev/null
 
 # Time-service fast path: the seqlock/clock tests under the race
 # detector, then cmd/dtpload calibrates a serving plane in-sim and

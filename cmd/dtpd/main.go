@@ -58,7 +58,7 @@ var (
 func main() {
 	shared.Register(flag.CommandLine,
 		cliutil.FlagTopo|cliutil.FlagSeed|cliutil.FlagDuration|
-			cliutil.FlagMetricsOut|cliutil.FlagTraceOut)
+			cliutil.FlagMetricsOut|cliutil.FlagTraceOut|cliutil.FlagHardened)
 	flag.Parse()
 	if err := shared.Validate(); err != nil {
 		cliutil.Fatal("dtpd", 2, err)
@@ -117,7 +117,9 @@ func main() {
 	// A long-lived daemon may report wall-clock throughput: these metrics
 	// are intentionally nondeterministic and never appear in dtpsim dumps.
 	telemetry.InstrumentScheduler(reg, sch, telemetry.SchedOptions{WallRate: true})
-	n, err := core.NewNetwork(sch, shared.Seed, g, core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Hardened = shared.Hardened
+	n, err := core.NewNetwork(sch, shared.Seed, g, cfg)
 	if err != nil {
 		cliutil.Fatal("dtpd", 1, err)
 	}

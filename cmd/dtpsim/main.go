@@ -55,7 +55,8 @@ var (
 func main() {
 	shared.Register(flag.CommandLine,
 		cliutil.FlagTopo|cliutil.FlagSeed|cliutil.FlagDuration|cliutil.FlagJobs|
-			cliutil.FlagMetricsOut|cliutil.FlagTraceOut|cliutil.FlagChaos)
+			cliutil.FlagMetricsOut|cliutil.FlagTraceOut|cliutil.FlagChaos|
+			cliutil.FlagHardened)
 	flag.Parse()
 	if err := shared.Validate(); err != nil {
 		cliutil.Fatal("dtpsim", 2, err)
@@ -94,6 +95,9 @@ func runCampaign() {
 		}
 		if shared.Chaos != "" {
 			g.Chaos = []string{shared.Chaos}
+		}
+		if shared.Hardened {
+			g.Hardened = []bool{true}
 		}
 	}
 	if *flightDir != "" {
@@ -164,6 +168,9 @@ func runSingle() {
 	}
 	if *berFlag > 0 {
 		opts = append(opts, dtp.WithBER(*berFlag), dtp.WithParity())
+	}
+	if shared.Hardened {
+		opts = append(opts, dtp.WithHardened())
 	}
 	sys, err := dtp.New(g, opts...)
 	if err != nil {
@@ -283,6 +290,9 @@ func runSingle() {
 	}
 	if aud != nil {
 		fmt.Println(aud.Summary())
+	}
+	if rej, quar := sys.ByzantineStats(); rej > 0 || quar > 0 {
+		fmt.Printf("hardened: %d counter advances rejected, %d port quarantines\n", rej, quar)
 	}
 	if tp != nil {
 		for _, h := range tp.Hosts() {

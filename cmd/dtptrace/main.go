@@ -5,7 +5,12 @@
 // times, the INIT one-way-delay distribution (with an assertion hook
 // for the paper's 43–45 cycle range on 10 m cables), Figure 6c style
 // beacon-offset tables, counter-jump causality chains, and any bound
-// violations the online auditor recorded.
+// violations the online auditor recorded. Traces from hardened runs
+// (dtpsim -hardened) additionally get a Byzantine-defense section: every
+// counter_rejected event grouped by port with its advance-vs-allowance
+// arithmetic and beacon/join path, each port_quarantined event tied to
+// the rejections that triggered it, and the chaos inject/clear markers
+// that caused them.
 //
 // Output is byte-deterministic for a given trace: two runs of the same
 // seed through dtpsim produce identical dtptrace reports.

@@ -206,6 +206,17 @@ func WithPPM(byName map[string]float64) Option {
 	return func(c *config) { c.ppm = byName }
 }
 
+// WithHardened enables the Byzantine-hardened protocol mode: per-link
+// bounded-jump admission of remote counters, quarantine with a re-INIT
+// escape hatch for peers that keep failing it, and a quorum combiner
+// gating large session-initial adoptions. On a fault-free network the
+// defenses never fire and runs are tick-identical to plain mode; the
+// trade-off is that long-diverged live partitions no longer auto-merge
+// (see DESIGN.md "Threat model & hardened mode").
+func WithHardened() Option {
+	return func(c *config) { c.cfg.Hardened = true }
+}
+
 // WithMaster enables the §5.4 extension: instead of max-coupling,
 // devices form a spanning tree rooted at the named device and follow
 // its clock — jumping forward when behind, stalling when ahead. Use it
@@ -400,6 +411,14 @@ func (s *System) BoundTicks() int64 { return s.net.BoundUnits() }
 // BoundNanos returns 4TD in nanoseconds.
 func (s *System) BoundNanos() float64 {
 	return float64(s.BoundTicks()) * s.TickNanos()
+}
+
+// ByzantineStats reports the hardened-mode defense activity so far:
+// remote counter advances refused by bounded-jump admission, and ports
+// quarantined after repeated rejections. Both are zero on honest runs
+// and always zero when the System was not built WithHardened.
+func (s *System) ByzantineStats() (rejected, quarantined uint64) {
+	return s.net.ByzantineStats()
 }
 
 // OnOffsetSample registers a callback receiving every protocol offset

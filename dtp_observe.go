@@ -153,6 +153,12 @@ func (s *System) FlightRecorder(o FlightOptions) (*FlightRecorder, error) {
 				"ports":   ports,
 			}
 		}
+		if rej, quar := s.net.ByzantineStats(); rej > 0 || quar > 0 {
+			out["byzantine"] = map[string]any{
+				"counter_rejections": rej,
+				"port_quarantines":   quar,
+			}
+		}
 		return out
 	})
 	if len(s.auditors) > 0 {
@@ -207,7 +213,8 @@ func (s *System) FlightRecorder(o FlightOptions) (*FlightRecorder, error) {
 		})
 	}
 
-	rec.Arm(telemetry.KindBoundViolation, telemetry.KindPortDemoted)
+	rec.Arm(telemetry.KindBoundViolation, telemetry.KindPortDemoted,
+		telemetry.KindPortQuarantined)
 	return rec, nil
 }
 

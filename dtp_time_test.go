@@ -205,3 +205,118 @@ func TestTimePlaneIntervalInvariantUnderChaos(t *testing.T) {
 	}
 	_ = eng
 }
+
+// TestTimePlaneIntervalInvariantHardenedLiar puts a Byzantine host
+// under the serving plane with the fabric hardened. The liar inflates
+// every counter it transmits; bounded-jump admission must reject those
+// advances before adoption, so the honest hosts' served intervals never
+// chase the lie, and the quarantine must pull the liar's link out of
+// the audited fabric rather than leak bound violations. Adversarial
+// faults earn no auditor excuse windows — the test's own excused()
+// windows cover only the liar's local read degradation (its port is
+// quarantined, so its snapshots go stale), never the audit record,
+// which must stay spotless end to end.
+func TestTimePlaneIntervalInvariantHardenedLiar(t *testing.T) {
+	reg := NewMetricsRegistry()
+	sys := newSynced(t, PaperTree(), WithSeed(41), WithHardened(),
+		WithTelemetry(reg, NewTracer(0)))
+	defer sys.Close()
+
+	aud := sys.Audit(AuditOptions{})
+	tp, err := sys.TimePlane(TimePlaneOptions{
+		CalInterval: 10 * time.Millisecond,
+		Auditor:     aud,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &ChaosScenario{
+		Name:        "timesvc-hardened-liar",
+		SettleGrace: ChaosD(2 * time.Millisecond),
+		Faults: []ChaosFault{
+			{
+				Kind: "liar", Device: "s8",
+				At:        ChaosD(450 * time.Millisecond),
+				Duration:  ChaosD(50 * time.Millisecond),
+				JumpUnits: 5000,
+				Cadence:   ChaosD(500 * time.Microsecond),
+			},
+		},
+	}
+	if _, err := sys.Chaos(ChaosOptions{Scenario: sc, Auditor: aud}); err != nil {
+		t.Fatal(err)
+	}
+
+	var maxAge sim.Time
+	for _, h := range tp.Hosts() {
+		svc, _ := tp.Service(h)
+		if a := svc.Config().MaxAge; a > maxAge {
+			maxAge = a
+		}
+	}
+	extraSettle := maxAge + sim.Time(40*sim.Millisecond)
+	excused := func(at sim.Time) bool {
+		f := sc.Faults[0]
+		return at >= f.At.T && at <= f.At.T+f.Duration.T+sc.SettleGrace.T+extraSettle
+	}
+
+	if warm := 250*time.Millisecond - sys.Now(); warm > 0 {
+		sys.Run(warm)
+	}
+
+	const step = sim.Millisecond
+	checked, failedClosed := 0, 0
+	for sys.Now() < 1200*time.Millisecond {
+		sys.Run(step.Std())
+		now := sim.FromStd(sys.Now())
+		if excused(now) {
+			continue
+		}
+		for _, h := range tp.Hosts() {
+			w, covered, err := tp.ReadCheck(h)
+			if err != nil {
+				failedClosed++
+				continue
+			}
+			if !covered {
+				t.Fatalf("t=%v %s: served interval (width %.0f ps) excludes true time outside excused windows",
+					now.Std(), h, w)
+			}
+			checked++
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d covered reads checked; sampling or serving broken", checked)
+	}
+	if failedClosed > checked/2 {
+		t.Fatalf("%d of %d+ reads failed closed outside excused windows; plane is not recovering",
+			failedClosed, checked+failedClosed)
+	}
+
+	// The defense must actually have engaged: inflated advances rejected,
+	// the lying port quarantined at least once, and — the point of the
+	// exercise — not a single bound violation anywhere in the run.
+	rejected, quarantined := sys.ByzantineStats()
+	if rejected == 0 {
+		t.Error("no counter advances rejected: the liar was never challenged")
+	}
+	if quarantined == 0 {
+		t.Error("the lying port was never quarantined")
+	}
+	if v := aud.Violations(); v != 0 {
+		t.Errorf("hardened fabric leaked %d bound violations under a liar", v)
+	}
+
+	// After the excused window every host — the reformed liar included —
+	// serves covered intervals again.
+	for _, h := range tp.Hosts() {
+		w, covered, err := tp.ReadCheck(h)
+		if err != nil {
+			t.Fatalf("%s: read still failing after the liar rejoined: %v", h, err)
+		}
+		if !covered {
+			t.Fatalf("%s: interval (width %.0f ps) excludes truth after the liar rejoined", h, w)
+		}
+	}
+}

@@ -23,7 +23,7 @@ import (
 // stateNames maps the stable Algorithm 1 state codes traced in
 // state_change V1/V2 to names; Detail carries the new-state name too,
 // so unknown codes only appear with foreign traces.
-var stateNames = map[int64]string{0: "down", 1: "init", 2: "synced"}
+var stateNames = map[int64]string{0: "down", 1: "init", 2: "synced", 3: "quarantined"}
 
 func stateName(code int64) string {
 	if n, ok := stateNames[code]; ok {
@@ -59,6 +59,23 @@ type Report struct {
 	PairOff    map[string]*stats.IntHist // per receiving port
 	Chains     []JumpChain
 	Violations []telemetry.Event
+
+	// Hardened-mode defense activity: counter_rejected events grouped by
+	// rejecting port, and the quarantine events themselves. RejectPorts
+	// is sorted by port name for deterministic rendering.
+	RejectPorts []RejectSummary
+	Quarantines []telemetry.Event
+}
+
+// RejectSummary aggregates one port's bounded-jump admission rejections.
+type RejectSummary struct {
+	Port    string
+	Count   int
+	Beacons int // rejected BEACON advances
+	Joins   int // rejected JOIN advances
+	MaxAdv  int64
+	First   sim.Time
+	Last    sim.Time
 }
 
 // OWDRange returns the min/max measured one-way delay and the sample
@@ -112,7 +129,7 @@ func Analyze(events []telemetry.Event, g *topo.Graph, window sim.Time) *Report {
 		e.Entries += entries
 	}
 
-	var jumps []telemetry.Event
+	var jumps, rejects []telemetry.Event
 	for _, e := range events {
 		switch e.Kind {
 		case telemetry.KindStateChange:
@@ -139,8 +156,13 @@ func Analyze(events []telemetry.Event, g *topo.Graph, window sim.Time) *Report {
 			jumps = append(jumps, e)
 		case telemetry.KindBoundViolation:
 			r.Violations = append(r.Violations, e)
+		case telemetry.KindCounterRejected:
+			rejects = append(rejects, e)
+		case telemetry.KindPortQuarantined:
+			r.Quarantines = append(r.Quarantines, e)
 		}
 	}
+	r.RejectPorts = summarizeRejects(rejects)
 	// Close every port's final dwell interval at the trace end.
 	for port, ps := range ports {
 		addDwell(port, ps.cur, r.End-ps.since, 0)
@@ -165,6 +187,38 @@ func Analyze(events []telemetry.Event, g *topo.Graph, window sim.Time) *Report {
 		r.Chains = buildChains(jumps, PortPeers(*g), window)
 	}
 	return r
+}
+
+// summarizeRejects folds counter_rejected events into per-port
+// summaries, sorted by port name.
+func summarizeRejects(rejects []telemetry.Event) []RejectSummary {
+	if len(rejects) == 0 {
+		return nil
+	}
+	byPort := map[string]*RejectSummary{}
+	for _, e := range rejects {
+		s := byPort[e.Who]
+		if s == nil {
+			s = &RejectSummary{Port: e.Who, First: e.At, MaxAdv: e.V1}
+			byPort[e.Who] = s
+		}
+		s.Count++
+		if e.Detail == "join" {
+			s.Joins++
+		} else {
+			s.Beacons++
+		}
+		if e.V1 > s.MaxAdv {
+			s.MaxAdv = e.V1
+		}
+		s.Last = e.At
+	}
+	out := make([]RejectSummary, 0, len(byPort))
+	for _, s := range byPort {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Port < out[b].Port })
+	return out
 }
 
 // PortPeers maps every port name ("s1[2]") to its peer's port name,
@@ -337,6 +391,25 @@ func (r *Report) WriteText(w io.Writer, topChains int) error {
 		}
 		if len(r.Chains) > topChains {
 			fmt.Fprintf(&b, "(%d more chains)\n", len(r.Chains)-topChains)
+		}
+	}
+
+	// The hardened-mode section appears only when the trace shows defense
+	// activity, so reports from plain-mode runs are byte-identical to
+	// earlier versions.
+	if len(r.RejectPorts) > 0 || len(r.Quarantines) > 0 {
+		b.WriteString("\n== Quarantine / rejection causality (hardened mode)\n")
+		if len(r.RejectPorts) > 0 {
+			fmt.Fprintf(&b, "%-10s %8s %8s %8s %10s %14s %14s\n",
+				"port", "rejects", "beacons", "joins", "max_adv", "first", "last")
+			for _, s := range r.RejectPorts {
+				fmt.Fprintf(&b, "%-10s %8d %8d %8d %10d %14v %14v\n",
+					s.Port, s.Count, s.Beacons, s.Joins, s.MaxAdv, s.First, s.Last)
+			}
+		}
+		for _, q := range r.Quarantines {
+			fmt.Fprintf(&b, "%v %s quarantined after %d rejections (owd=%d)\n",
+				q.At, q.Who, q.V1, q.V2)
 		}
 	}
 

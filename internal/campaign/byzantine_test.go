@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// byzantineScenario is the tolerance-study fault: host s8 ratchets a
+// 5000-unit lie onto every counter it transmits, every ~2 µs, for 1 ms.
+// Timings are compressed from examples/chaos/liar.json so the study
+// stays cheap enough to run under -race in CI.
+const byzantineScenario = `{
+  "name": "liar-ci",
+  "description": "one Byzantine host ratcheting its transmitted counter",
+  "settle_grace": "100us",
+  "reconverge_deadline": "3ms",
+  "faults": [
+    {"kind": "liar", "device": "s8", "at": "400us", "duration": "1ms",
+     "jump_units": 5000, "cadence": "2us"}
+  ]
+}`
+
+func byzantineGrid(scenario string) Grid {
+	return Grid{
+		Name:      "byzantine",
+		Topos:     []string{"tree"},
+		Seeds:     []uint64{1, 2, 3},
+		Durations: []Duration{msec(2)},
+		Chaos:     []string{"", scenario},
+		Hardened:  []bool{false, true},
+		// The liar's JOIN cascades are microsecond transients; the
+		// default 100 µs auditor cadence could sample between them.
+		AuditEvery: Duration(20 * time.Microsecond),
+	}
+}
+
+// TestByzantineTolerance is the PR's acceptance demonstration, run as a
+// campaign so the comparison is apples-to-apples across seeds:
+//
+//   - hardening off + one liar: the fabric adopts the inflated counter
+//     and the auditor reports unexcused bound violations (adversarial
+//     faults declare no excuse windows);
+//   - hardening on + the same liar: every lying JOIN is rejected, the
+//     attacking port is quarantined, and the run ends with zero
+//     unexcused violations and a reconverged fabric;
+//   - hardening on, no fault: the defense is free — the clean-run
+//     offset envelope must not regress more than 10% versus plain mode.
+func TestByzantineTolerance(t *testing.T) {
+	scenario := filepath.Join(t.TempDir(), "liar.json")
+	if err := writeFile(scenario, byzantineScenario); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(byzantineGrid(scenario), Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index clean-run offsets per seed for the precision-cost check.
+	cleanOff := map[uint64]map[bool]int64{}
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			t.Fatalf("run %d (%s) errored: %s", r.Index, rep.Grid.Label(r.Point), r.Err)
+		}
+		switch {
+		case r.Chaos == "":
+			if r.AuditViolations != 0 || !r.ChaosOK || !r.WithinBound {
+				t.Errorf("clean run %s: violations=%d withinBound=%v — hardening must not disturb a fault-free fabric",
+					rep.Grid.Label(r.Point), r.AuditViolations, r.WithinBound)
+			}
+			if cleanOff[r.Seed] == nil {
+				cleanOff[r.Seed] = map[bool]int64{}
+			}
+			cleanOff[r.Seed][r.Hardened] = r.MaxOffsetTicks
+		case !r.Hardened:
+			// The vulnerability: one liar poisons the whole fabric.
+			if r.AuditViolations == 0 {
+				t.Errorf("liar run %s: zero unexcused violations — plain DTP should have adopted the lie",
+					rep.Grid.Label(r.Point))
+			}
+			if r.ChaosOK {
+				t.Errorf("liar run %s: chaos verification passed unhardened", rep.Grid.Label(r.Point))
+			}
+		default:
+			// The defense: rejections, quarantine, zero violations,
+			// full reconvergence by the scenario deadline.
+			if r.AuditViolations != 0 {
+				t.Errorf("hardened liar run %s: %d unexcused violations", rep.Grid.Label(r.Point), r.AuditViolations)
+			}
+			if !r.ChaosOK {
+				t.Errorf("hardened liar run %s: chaos verification failed: %s", rep.Grid.Label(r.Point), r.ChaosErr)
+			}
+			if r.CounterRejections < uint64(4) {
+				t.Errorf("hardened liar run %s: only %d rejections — admission never engaged",
+					rep.Grid.Label(r.Point), r.CounterRejections)
+			}
+			if r.PortQuarantines < 1 {
+				t.Errorf("hardened liar run %s: no quarantine despite a persistent liar", rep.Grid.Label(r.Point))
+			}
+		}
+	}
+
+	// Clean-run precision cost: hardened admission only observes honest
+	// traffic, so the envelope must stay within 10% (plus one unit of
+	// integer headroom) of plain mode, per seed.
+	for seed, offs := range cleanOff {
+		plain, hardened := offs[false], offs[true]
+		if float64(hardened) > float64(plain)*1.1+1 {
+			t.Errorf("seed %d: clean-run max offset %d hardened vs %d plain — defense costs >10%% precision",
+				seed, hardened, plain)
+		}
+		t.Logf("seed %d clean-run max offset: plain=%d hardened=%d units", seed, plain, hardened)
+	}
+	t.Logf("break-even: 1 Byzantine device defeats plain DTP on every seed; hardened mode tolerates it\n%s",
+		summaryLine(rep))
+}
+
+func summaryLine(rep *Report) string {
+	var rej, quar uint64
+	for _, r := range rep.Results {
+		rej += r.CounterRejections
+		quar += r.PortQuarantines
+	}
+	return fmt.Sprintf("campaign: %d runs, %d counter rejections, %d quarantines",
+		len(rep.Results), rej, quar)
+}
+
+// TestByzantineDeterminismAcrossWorkerCounts pins the tolerance study
+// to the campaign's core contract: the adversarial grid renders
+// byte-identically with one worker and with four.
+func TestByzantineDeterminismAcrossWorkerCounts(t *testing.T) {
+	scenario := filepath.Join(t.TempDir(), "liar.json")
+	if err := writeFile(scenario, byzantineScenario); err != nil {
+		t.Fatal(err)
+	}
+	g := byzantineGrid(scenario)
+	g.Seeds = []uint64{1, 2} // half the grid: this test re-runs it twice
+	serial, err := Run(g, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(g, Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderDeterministic(t, serial), renderDeterministic(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("byzantine campaign diverged between -jobs 1 and -jobs 4:\n--- jobs=1\n%s\n--- jobs=4\n%s", a, b)
+	}
+}

@@ -69,6 +69,11 @@ type Grid struct {
 	// Chaos lists fault-injection scenario JSON paths; "" means no
 	// faults. Default: [""].
 	Chaos []string `json:"chaos,omitempty"`
+	// Hardened sweeps the Byzantine-hardened protocol mode (bounded-jump
+	// admission, quarantine, quorum combiner). Default: [false]. List
+	// both values to measure an attack's blast radius with the defenses
+	// off against the fabric's tolerance with them on.
+	Hardened []bool `json:"hardened,omitempty"`
 
 	// Wander enables oscillator temperature wander (10 ms interval,
 	// 100 ppb steps — the dtpsim default) on every run.
@@ -113,6 +118,8 @@ type Point struct {
 	Duration Duration `json:"duration"`
 	// Chaos is the scenario path ("" = no fault injection).
 	Chaos string `json:"chaos,omitempty"`
+	// Hardened selects the Byzantine-hardened protocol mode.
+	Hardened bool `json:"hardened,omitempty"`
 }
 
 func (p Point) String() string {
@@ -120,6 +127,9 @@ func (p Point) String() string {
 		p.Topo, p.Seed, p.Load, p.Beacon, p.Duration.Std())
 	if p.Chaos != "" {
 		s += " chaos=" + p.Chaos
+	}
+	if p.Hardened {
+		s += " hardened"
 	}
 	return s
 }
@@ -143,6 +153,9 @@ func (g Grid) withDefaults() Grid {
 	}
 	if len(g.Chaos) == 0 {
 		g.Chaos = []string{""}
+	}
+	if len(g.Hardened) == 0 {
+		g.Hardened = []bool{false}
 	}
 	if g.SamplePeriod <= 0 {
 		g.SamplePeriod = Duration(100 * time.Microsecond)
@@ -183,8 +196,8 @@ func (g Grid) Validate() error {
 }
 
 // Expand resolves the grid into its runs, in grid order: topology
-// outermost, then load, beacon, duration, chaos, and seed innermost —
-// so seed sweeps of one configuration are contiguous.
+// outermost, then load, beacon, duration, chaos, hardened, and seed
+// innermost — so seed sweeps of one configuration are contiguous.
 func (g Grid) Expand() []Point {
 	g = g.withDefaults()
 	var pts []Point
@@ -193,12 +206,15 @@ func (g Grid) Expand() []Point {
 			for _, beacon := range g.Beacons {
 				for _, dur := range g.Durations {
 					for _, chaos := range g.Chaos {
-						for _, seed := range g.Seeds {
-							pts = append(pts, Point{
-								Index: len(pts), Topo: topo, Seed: seed,
-								Load: load, Beacon: beacon,
-								Duration: dur, Chaos: chaos,
-							})
+						for _, hardened := range g.Hardened {
+							for _, seed := range g.Seeds {
+								pts = append(pts, Point{
+									Index: len(pts), Topo: topo, Seed: seed,
+									Load: load, Beacon: beacon,
+									Duration: dur, Chaos: chaos,
+									Hardened: hardened,
+								})
+							}
 						}
 					}
 				}

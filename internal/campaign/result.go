@@ -61,6 +61,14 @@ type Result struct {
 	ChaosOK  bool   `json:"chaos_ok"`
 	ChaosErr string `json:"chaos_error,omitempty"`
 
+	// CounterRejections / PortQuarantines count the hardened-mode
+	// defenses firing: remote counter advances refused by bounded-jump
+	// admission and ports quarantined after repeated rejections. Always
+	// zero on unhardened or honest runs — the Byzantine tolerance
+	// campaign reads them as "the defense engaged".
+	CounterRejections uint64 `json:"counter_rejections,omitempty"`
+	PortQuarantines   uint64 `json:"port_quarantines,omitempty"`
+
 	// Time* fields summarize the serving-plane probe (Grid.TimeService):
 	// every sampling tick reads each served host's TrueTime-style
 	// interval and checks it against ground truth. TimeReads counts
@@ -145,6 +153,11 @@ type Aggregate struct {
 	ChaosRuns     int `json:"chaos_runs"`
 	ChaosVerified int `json:"chaos_verified"`
 
+	// CounterRejections / PortQuarantines total the hardened-mode
+	// defense activity across runs.
+	CounterRejections uint64 `json:"counter_rejections,omitempty"`
+	PortQuarantines   uint64 `json:"port_quarantines,omitempty"`
+
 	// TimeReads / TimeUncovered / TimeFailedClosed pool the serving-
 	// plane probes across runs; WorstTimeWidthP99Ps is the widest p99
 	// interval any run served.
@@ -194,6 +207,8 @@ func Aggregated(name string, results []Result) Aggregate {
 				agg.ChaosVerified++
 			}
 		}
+		agg.CounterRejections += r.CounterRejections
+		agg.PortQuarantines += r.PortQuarantines
 		agg.TimeReads += r.TimeReads
 		agg.TimeUncovered += r.TimeUncovered
 		agg.TimeFailedClosed += r.TimeFailedClosed
@@ -262,6 +277,10 @@ func (rep *Report) Summary() string {
 	} else if agg.AuditViolations+agg.AuditExcused > 0 {
 		fmt.Fprintf(&b, "  audit: %d unexcused violations, %d excused\n",
 			agg.AuditViolations, agg.AuditExcused)
+	}
+	if agg.CounterRejections+agg.PortQuarantines > 0 {
+		fmt.Fprintf(&b, "  hardened: %d counter advances rejected, %d port quarantines\n",
+			agg.CounterRejections, agg.PortQuarantines)
 	}
 	var serial time.Duration
 	for i := range rep.Results {

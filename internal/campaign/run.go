@@ -113,6 +113,9 @@ func RunPoint(g Grid, p Point) (res Result) {
 		dtp.WithSeed(p.Seed),
 		dtp.WithBeaconInterval(p.Beacon),
 	}
+	if p.Hardened {
+		opts = append(opts, dtp.WithHardened())
+	}
 	if g.Wander {
 		opts = append(opts, dtp.WithWander(10*time.Millisecond, 100))
 	}
@@ -264,6 +267,7 @@ func RunPoint(g Grid, p Point) (res Result) {
 	res.AuditChecks = aud.Checks()
 	res.AuditViolations = aud.Violations()
 	res.AuditExcused = aud.ExcusedViolations()
+	res.CounterRejections, res.PortQuarantines = sys.ByzantineStats()
 
 	if rec != nil {
 		if err := writeTimeline(tl, flightRun); err != nil {

@@ -122,7 +122,11 @@ func (e *Engine) Schedule() error {
 		f := &e.sc.Faults[i]
 		if !f.permanent() {
 			e.temporal++
-			if e.aud != nil {
+			// Adversarial faults declare no excuse window: a hardened
+			// fabric is supposed to withstand an attacker, so any bound
+			// violation one causes stays unexcused — that asymmetry is
+			// what the Byzantine tolerance campaign measures.
+			if e.aud != nil && !f.adversarial() {
 				e.aud.ExpectDegradation(f.At.T, f.At.T+f.Duration.T+e.sc.SettleGrace.T,
 					f.Kind+" "+f.target())
 			}
@@ -145,6 +149,12 @@ func (e *Engine) Schedule() error {
 			e.scheduleTempRamp(f, i, devs[i])
 		case KindCrash:
 			e.scheduleCrash(f, i, devs[i])
+		case KindLiar:
+			e.scheduleRatchet(f, i, devs[i], rng, true)
+		case KindOverclaim:
+			e.scheduleRatchet(f, i, devs[i], rng, false)
+		case KindSpoof:
+			e.scheduleSpoof(f, i, lis[i], rng)
 		}
 	}
 	e.scheduled = true
@@ -290,6 +300,72 @@ func (e *Engine) scheduleCrash(f *Fault, idx int, dev *core.Device) {
 	})
 }
 
+// scheduleRatchet compiles the two counter-inflation attacks. Every
+// cadence (jittered by the fault's RNG stream) the device raises its
+// outgoing-counter lie by JumpUnits; a liar additionally pushes each
+// step through the unguarded BEACON-JOIN path so plain DTP adopts it
+// immediately, while an overclaimer lets ordinary beacons carry a
+// per-message delta small enough to slip under the bit-error guard.
+// When the fault clears the lie is removed; the device's real counter
+// was never touched, so it is back in bound as soon as the fabric's
+// poisoned maximum decays into plain drift (or instantly, if hardened
+// admission refused the lie all along).
+func (e *Engine) scheduleRatchet(f *Fault, idx int, dev *core.Device, rng *sim.RNG, join bool) {
+	end := f.At.T + f.Duration.T
+	e.sch.At(f.At.T, func() {
+		e.inject(f, idx, fmt.Sprintf("jump_units=%d cadence=%v", f.JumpUnits, f.Cadence.T))
+		var fire func()
+		fire = func() {
+			if e.sch.Now() >= end {
+				return // the clear event below removes the lie
+			}
+			dev.SetLieUnits(dev.LieUnits() + uint64(f.JumpUnits))
+			if join {
+				dev.BroadcastJoin()
+			}
+			e.sch.After(cadenceJitter(rng, f.Cadence.T), fire)
+		}
+		fire()
+	})
+	e.sch.At(end, func() {
+		dev.SetLieUnits(0)
+		e.clear(f, idx)
+	})
+}
+
+// scheduleSpoof compiles an on-path beacon forgery: every cadence a
+// counterfeit BEACON claiming the receiver's own counter plus JumpUnits
+// is injected into the port on device Link[1], as if its peer (Link[0])
+// had sent it. Tracking the victim's counter keeps every forgery inside
+// the per-message guard, so only cumulative bounded-jump admission can
+// tell the stream from an honest fast clock.
+func (e *Engine) scheduleSpoof(f *Fault, idx, li int, rng *sim.RNG) {
+	end := f.At.T + f.Duration.T
+	rx := e.spoofTargetPort(f, li)
+	e.sch.At(f.At.T, func() {
+		e.inject(f, idx, fmt.Sprintf("jump_units=%d cadence=%v dir=%s>%s",
+			f.JumpUnits, f.Cadence.T, f.Link[0], f.Link[1]))
+		var fire func()
+		fire = func() {
+			if e.sch.Now() >= end {
+				return
+			}
+			rx.InjectSpoofedBeacon(rx.Device().GlobalCounter() + uint64(f.JumpUnits))
+			e.sch.After(cadenceJitter(rng, f.Cadence.T), fire)
+		}
+		fire()
+	})
+	e.sch.At(end, func() { e.clear(f, idx) })
+}
+
+// cadenceJitter spaces adversarial firings uniformly in [c/2, 3c/2]:
+// the mean stays at the configured cadence while the per-fault RNG
+// stream keeps the exact instants reproducible and independent of every
+// other fault.
+func cadenceJitter(rng *sim.RNG, c sim.Time) sim.Time {
+	return rng.UniformTime(c/2, c+c/2)
+}
+
 // --- Bookkeeping -------------------------------------------------------
 
 func (e *Engine) inject(f *Fault, idx int, params string) {
@@ -381,6 +457,16 @@ func (e *Engine) wireFor(f *Fault, li int) *link.Wire {
 		return ab
 	}
 	return ba
+}
+
+// spoofTargetPort returns the port forged beacons arrive at: the one on
+// device Link[1], whose peer (Link[0]) the attacker impersonates.
+func (e *Engine) spoofTargetPort(f *Fault, li int) *core.Port {
+	pa, pb := e.net.LinkPorts(li)
+	if e.net.Graph.Nodes[e.net.Graph.Links[li].A].Name == f.Link[1] {
+		return pa
+	}
+	return pb
 }
 
 func clampPPM(ppm, max float64) float64 {

@@ -180,6 +180,63 @@ func TestKitchenSinkFaults(t *testing.T) {
 	}
 }
 
+// liarScenario: one device lies hard — 5000-unit counter inflation
+// pushed every ~2 µs through both the beacon and JOIN paths — for half
+// a millisecond. Adversarial faults register no degradation windows, so
+// any violation they cause is unexcused by design.
+func liarScenario() *Scenario {
+	return &Scenario{
+		Name:               "liar",
+		SettleGrace:        D(100 * sim.Microsecond),
+		ReconvergeDeadline: D(5 * sim.Millisecond),
+		Faults: []Fault{
+			{Kind: KindLiar, Device: "h0", At: D(sim.Millisecond),
+				Duration: D(500 * sim.Microsecond), JumpUnits: 5000, Cadence: D(2 * sim.Microsecond)},
+		},
+	}
+}
+
+// TestLiarCampaignPlainVsHardened is the acceptance demo in miniature:
+// plain DTP adopts the lie and fails verification with unexcused bound
+// violations, while hardened DTP rejects every inflated advance,
+// quarantines the liar, and passes the same verification once the
+// fault clears.
+func TestLiarCampaignPlainVsHardened(t *testing.T) {
+	plain := newCampaign(t, topo.Pair(), core.DefaultConfig(), 3, liarScenario())
+	plain.run()
+	if err := plain.eng.Verify(); err == nil {
+		t.Fatalf("plain mode verified a lying device; the attack did not land\n  %s",
+			plain.aud.Summary())
+	}
+	if plain.aud.Violations() == 0 {
+		t.Error("plain mode recorded no bound violations under a liar")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Hardened = true
+	hard := newCampaign(t, topo.Pair(), cfg, 3, liarScenario())
+	hard.run()
+	if err := hard.eng.Verify(); err != nil {
+		t.Fatalf("hardened: %v\n  %s\n  %s", err, hard.eng.Summary(), hard.aud.Summary())
+	}
+	if v := hard.aud.Violations(); v != 0 {
+		t.Errorf("hardened mode leaked %d bound violations", v)
+	}
+	rej, quar := hard.net.ByzantineStats()
+	if rej == 0 {
+		t.Error("hardened mode rejected no counter advances: admission never engaged")
+	}
+	if quar == 0 {
+		t.Error("lying port was never quarantined")
+	}
+	if hard.tr.CountKind(telemetry.KindCounterRejected) == 0 {
+		t.Error("no counter_rejected trace events")
+	}
+	if hard.tr.CountKind(telemetry.KindPortQuarantined) == 0 {
+		t.Error("no port_quarantined trace events")
+	}
+}
+
 // TestScheduleRejectsUnknownTargets: bad device or cable names fail
 // atomically at Schedule, before any event is planted.
 func TestScheduleRejectsUnknownTargets(t *testing.T) {

@@ -99,6 +99,32 @@ const (
 	// counter content is lost; after Duration the device restarts from
 	// counter zero and rejoins through INIT and BEACON-JOIN.
 	KindCrash = "crash"
+
+	// Adversarial kinds (Byzantine faults). Unlike the accidental faults
+	// above they register no expected-degradation window with the
+	// auditor: a hardened fabric is supposed to withstand them, so every
+	// bound violation they cause counts as unexcused.
+
+	// KindLiar makes a device lie: every Cadence (jittered by the
+	// fault's RNG stream) it inflates its outgoing counter by a further
+	// JumpUnits and pushes the lie through the otherwise unguarded
+	// BEACON-JOIN path on all synced ports, for Duration. Plain DTP
+	// adopts each JOIN fabric-wide; hardened admission rejects them and
+	// quarantines the liar's links. The device's real counter stays
+	// honest — the lie exists only on the wire.
+	KindLiar = "liar"
+	// KindOverclaim is the liar's stealthy sibling: the device ratchets
+	// its outgoing counter by JumpUnits per Cadence through ordinary
+	// BEACONs only, sized to stay just under the naive bit-error guard,
+	// so each message looks plausible while the cumulative rate is far
+	// beyond any honest oscillator. Bounded-jump admission catches the
+	// cumulative drift the per-message guard cannot.
+	KindOverclaim = "overclaim"
+	// KindSpoof models an on-path attacker forging BEACONs on a cable:
+	// every Cadence for Duration a counterfeit beacon claiming the
+	// receiver's counter plus JumpUnits is injected toward Link[1] (the
+	// attacker impersonates Link[0]).
+	KindSpoof = "beacon_spoof"
 )
 
 // Fault is one declarative fault. Link faults name the two adjacent
@@ -133,11 +159,30 @@ type Fault struct {
 	// Steps is the ramp granularity for grey_delay / temp_ramp
 	// (default 10).
 	Steps int `json:"steps,omitempty"`
+
+	// JumpUnits is the counter inflation per firing, in counter units
+	// (liar, overclaim, beacon_spoof).
+	JumpUnits int64 `json:"jump_units,omitempty"`
+	// Cadence is the mean interval between adversarial firings (liar,
+	// overclaim, beacon_spoof); exact instants are jittered by the
+	// fault's RNG stream.
+	Cadence Duration `json:"cadence,omitempty"`
 }
 
 // permanent reports whether the fault never clears.
 func (f *Fault) permanent() bool {
 	return f.Kind == KindBERDegrade || (f.Kind == KindFreqStep && f.Duration.T == 0)
+}
+
+// adversarial reports whether the fault models an attacker rather than
+// an accident. Adversarial faults register no expected-degradation
+// window with the auditor — see the kind constants above.
+func (f *Fault) adversarial() bool {
+	switch f.Kind {
+	case KindLiar, KindOverclaim, KindSpoof:
+		return true
+	}
+	return false
 }
 
 // target names what the fault hits, for traces and error messages.
@@ -292,6 +337,32 @@ func (f *Fault) validate() error {
 		}
 		if err := needDuration(); err != nil {
 			return err
+		}
+	case KindLiar, KindOverclaim:
+		if err := needDevice(); err != nil {
+			return err
+		}
+		if err := needDuration(); err != nil {
+			return err
+		}
+		if f.JumpUnits <= 0 {
+			return fmt.Errorf("%s requires a positive \"jump_units\"", f.Kind)
+		}
+		if f.Cadence.T <= 0 {
+			return fmt.Errorf("%s requires a positive \"cadence\"", f.Kind)
+		}
+	case KindSpoof:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if err := needDuration(); err != nil {
+			return err
+		}
+		if f.JumpUnits <= 0 {
+			return fmt.Errorf("%s requires a positive \"jump_units\"", f.Kind)
+		}
+		if f.Cadence.T <= 0 {
+			return fmt.Errorf("%s requires a positive \"cadence\"", f.Kind)
 		}
 	default:
 		return fmt.Errorf("unknown fault kind %q", f.Kind)

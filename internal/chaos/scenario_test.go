@@ -36,6 +36,12 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 				Duration: D(sim.Millisecond), PPMStep: -60},
 			{Kind: KindCrash, Device: "sw2", At: D(4 * sim.Millisecond),
 				Duration: D(500 * sim.Microsecond)},
+			{Kind: KindLiar, Device: "h0", At: D(5 * sim.Millisecond),
+				Duration: D(sim.Millisecond), JumpUnits: 5000, Cadence: D(2 * sim.Microsecond)},
+			{Kind: KindOverclaim, Device: "h1", At: D(5 * sim.Millisecond),
+				Duration: D(sim.Millisecond), JumpUnits: 6, Cadence: D(10 * sim.Microsecond)},
+			{Kind: KindSpoof, Link: []string{"h0", "sw1"}, At: D(6 * sim.Millisecond),
+				Duration: D(sim.Millisecond), JumpUnits: 6, Cadence: D(2 * sim.Microsecond)},
 		},
 	}
 	b, err := json.MarshalIndent(&sc, "", "  ")
@@ -118,8 +124,22 @@ func TestScenarioValidation(t *testing.T) {
 			{Kind: KindCrash, Device: "d"}}}, "duration"},
 		{"negative steps", Scenario{Faults: []Fault{
 			{Kind: KindTempRamp, Device: "d", PPMStep: 5, Duration: D(1), Steps: -2}}}, "negative steps"},
+		{"liar missing device", Scenario{Faults: []Fault{
+			{Kind: KindLiar, Duration: D(1), JumpUnits: 100, Cadence: D(1)}}}, "requires \"device\""},
+		{"liar missing jump_units", Scenario{Faults: []Fault{
+			{Kind: KindLiar, Device: "d", Duration: D(1), Cadence: D(1)}}}, "positive \"jump_units\""},
+		{"liar missing cadence", Scenario{Faults: []Fault{
+			{Kind: KindLiar, Device: "d", Duration: D(1), JumpUnits: 100}}}, "positive \"cadence\""},
+		{"overclaim no duration", Scenario{Faults: []Fault{
+			{Kind: KindOverclaim, Device: "d", JumpUnits: 4, Cadence: D(1)}}}, "positive \"duration\""},
+		{"spoof missing link", Scenario{Faults: []Fault{
+			{Kind: KindSpoof, Duration: D(1), JumpUnits: 4, Cadence: D(1)}}}, "requires \"link\""},
+		{"spoof missing jump_units", Scenario{Faults: []Fault{
+			{Kind: KindSpoof, Link: link, Duration: D(1), Cadence: D(1)}}}, "positive \"jump_units\""},
 		{"valid", Scenario{Faults: []Fault{
 			{Kind: KindCrash, Device: "d", At: D(1), Duration: D(1)}}}, ""},
+		{"valid liar", Scenario{Faults: []Fault{
+			{Kind: KindLiar, Device: "d", At: D(1), Duration: D(1), JumpUnits: 5000, Cadence: D(1)}}}, ""},
 	}
 	for _, c := range cases {
 		err := c.sc.Validate()
@@ -132,6 +152,26 @@ func TestScenarioValidation(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
 		}
+	}
+}
+
+// TestValidationNamesFaultIndex: a bad fault in a multi-fault scenario
+// is reported by its position, so an author editing a long JSON file
+// knows which entry to fix.
+func TestValidationNamesFaultIndex(t *testing.T) {
+	sc := Scenario{Faults: []Fault{
+		{Kind: KindCrash, Device: "d", At: D(1), Duration: D(1)},
+		{Kind: "meteor"},
+	}}
+	err := sc.Validate()
+	if err == nil {
+		t.Fatal("scenario with unknown kind validated")
+	}
+	if !strings.Contains(err.Error(), "fault 1:") {
+		t.Fatalf("error %q does not name the offending fault index", err)
+	}
+	if !strings.Contains(err.Error(), "unknown fault kind") {
+		t.Fatalf("error %q lost the underlying cause", err)
 	}
 }
 

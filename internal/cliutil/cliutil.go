@@ -33,6 +33,8 @@ const (
 	FlagTraceOut
 	// FlagChaos is -chaos, the fault-injection scenario path.
 	FlagChaos
+	// FlagHardened is -hardened, the Byzantine-hardened protocol mode.
+	FlagHardened
 )
 
 // Flags holds the shared flag values. Initialize fields before Register
@@ -46,6 +48,7 @@ type Flags struct {
 	MetricsOut string
 	TraceOut   string
 	Chaos      string
+	Hardened   bool
 
 	registered Set
 }
@@ -86,6 +89,10 @@ func (f *Flags) Register(fs *flag.FlagSet, which Set) {
 	if which&FlagChaos != 0 {
 		fs.StringVar(&f.Chaos, "chaos", f.Chaos,
 			"fault-injection scenario JSON (see internal/chaos)")
+	}
+	if which&FlagHardened != 0 {
+		fs.BoolVar(&f.Hardened, "hardened", f.Hardened,
+			"enable Byzantine-hardened mode: bounded-jump admission, quarantine, quorum combiner")
 	}
 }
 

@@ -141,6 +141,56 @@ type Config struct {
 	// delay measurement.
 	JoinDelayTicks uint64
 
+	// Hardened enables the Byzantine-hardened protocol mode. Plain DTP
+	// adopts max(local, remote) unconditionally, so one device reporting
+	// an inflated counter poisons the whole fabric. Hardened mode adds
+	// per-link-session bounded-jump admission (remote advances must stay
+	// within elapsed + slack + an oscillator-budget term since the
+	// session baseline), a quarantine state with a re-INIT escape hatch
+	// for ports whose peers keep failing admission, and a quorum
+	// combiner that refuses large session-initial adoptions unless the
+	// device's other synced ports corroborate them. On a fault-free
+	// network the admission never fires, so hardened and plain runs are
+	// tick-identical; the price is that two long-diverged live
+	// partitions no longer auto-merge (see DESIGN.md "Threat model").
+	Hardened bool
+
+	// AdmitSlackUnits is the constant slack of the admission pull
+	// budget: it absorbs the measurement noise (CDC dither, guard-band
+	// offsets) riding on honest forward adoptions. Each message may
+	// pull the local counter at most AdmitSlackUnits forward, and the
+	// total pull a peer is granted within a FaultyWindowTicks window is
+	// AdmitSlackUnits + elapsed>>12, where elapsed is measured on the
+	// device's free-running tick clock (the shift is a ~244 ppm budget
+	// covering the 802.3 ±100 ppm oscillators on both ends plus
+	// wander). Budgeting the pull against the unjumpable oscillator —
+	// never the global counter — is what catches ratchets whose every
+	// step stays under naive per-message thresholds. Like the bit-error
+	// guard, the slack scales with the port's cycle.
+	AdmitSlackUnits int64
+
+	// QuarantineRejectLimit is how many admission rejections within
+	// FaultyWindowTicks a synced port tolerates before quarantining its
+	// peer. QuarantineCooldownTicks is how long the quarantine lasts
+	// before the port demotes itself to INIT and retries — the escape
+	// hatch through which an honestly restarted peer rejoins. Size the
+	// cooldown so a peer that was honest all along rejoins cleanly: the
+	// quarantined peer free-runs, so its counter diverges from the
+	// fabric at up to 2*PPMRange; keep
+	// QuarantineCooldownTicks * 2*PPMRange*1e-6 <= AdmitSlackUnits
+	// and the post-cooldown session's first message is always within the
+	// admission slack, whichever side drifted ahead.
+	QuarantineRejectLimit   int
+	QuarantineCooldownTicks uint64
+
+	// QuorumPorts is the number of synced ports (proposer included) that
+	// must agree before a device adopts a session-initial advance larger
+	// than AdmitSlackUnits. Devices with fewer synced witness ports than
+	// the quorum — freshly restarted devices, single-port hosts — admit
+	// unchecked: they have no better information than their peer. <= 1
+	// disables the combiner.
+	QuorumPorts int
+
 	// FollowMaster enables the §5.4 extension ("following the fastest
 	// clock"): instead of max-coupling, devices form a spanning tree
 	// rooted at Master and each follows the remote counter of its
@@ -174,6 +224,20 @@ func DefaultConfig() Config {
 		BeaconTimeoutIntervals: 50,
 		PPMRange:               100,
 		JoinDelayTicks:         2_000,
+		// Hardened-mode parameters are always populated so enabling the
+		// mode is a single knob. Slack 16 units ≈ 103 ns at 10 GbE: twice
+		// the bit-error guard of headroom over the per-beacon noise
+		// floor, while keeping any single admitted step under the 4TD
+		// bound of tree-scale topologies. Rejections quarantine fast (the
+		// fabric is exposed while a liar keeps probing), and the cooldown
+		// is sized so an honest peer's free-run drift across one
+		// quarantine (60k ticks * 200 ppm = 12 units) stays inside the
+		// admission slack — a wrongly quarantined peer always rejoins on
+		// the first retry.
+		AdmitSlackUnits:         16,
+		QuarantineRejectLimit:   4,
+		QuarantineCooldownTicks: 60_000,
+		QuorumPorts:             2,
 	}
 }
 
@@ -201,6 +265,17 @@ func (c *Config) validate() error {
 	}
 	if c.FollowMaster && c.Master == "" {
 		return fmt.Errorf("core: FollowMaster requires a Master name")
+	}
+	if c.Hardened {
+		if c.AdmitSlackUnits <= 0 {
+			return fmt.Errorf("core: Hardened requires AdmitSlackUnits >= 1")
+		}
+		if c.QuarantineRejectLimit <= 0 {
+			return fmt.Errorf("core: Hardened requires QuarantineRejectLimit >= 1")
+		}
+		if c.QuarantineCooldownTicks == 0 {
+			return fmt.Errorf("core: Hardened requires a quarantine cooldown (the re-INIT escape hatch)")
+		}
 	}
 	return nil
 }

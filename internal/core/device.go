@@ -27,6 +27,12 @@ type Device struct {
 	clock *xo.Clock
 	gc    *unitCounter
 	ports []*Port
+
+	// lieUnits is the adversarial outgoing-counter inflation installed
+	// by chaos liar/overclaim faults (see harden.go SetLieUnits): every
+	// beacon and JOIN this device transmits carries gc + lieUnits while
+	// the real counter stays honest.
+	lieUnits uint64
 }
 
 func newDevice(n *Network, node topo.Node, offsetPPM float64, rng *sim.RNG) *Device {

@@ -32,6 +32,11 @@ type Network struct {
 	// tel holds telemetry handles; the zero value (uninstrumented) is a
 	// set of nil handles whose updates are no-ops. See Instrument.
 	tel coreMetrics
+
+	// Hardened-mode totals, owned by the scheduler goroutine and read
+	// after a run via ByzantineStats (campaign Result fields).
+	rejectedTotal   uint64
+	quarantineTotal uint64
 }
 
 // Option customizes network construction.
@@ -262,10 +267,26 @@ func (n *Network) MaxPairwiseOffset() int64 {
 }
 
 // LinkSynced reports whether both ports of topology link i completed
-// their delay measurement — the link is actively carrying beacons.
+// their delay measurement — the link is actively carrying beacons. A
+// quarantined port (hardened mode) is not synced: the auditor's active
+// bitmap is built from this predicate, so quarantined links drop out of
+// the BFS bounds automatically.
 func (n *Network) LinkSynced(i int) bool {
 	lp := n.linkPorts[i]
 	return lp[0].state == portSynced && lp[1].state == portSynced
+}
+
+// LinkQuarantined reports whether either port of topology link i is in
+// hardened-mode quarantine.
+func (n *Network) LinkQuarantined(i int) bool {
+	lp := n.linkPorts[i]
+	return lp[0].state == portQuarantined || lp[1].state == portQuarantined
+}
+
+// ByzantineStats returns hardened mode's cumulative bounded-jump
+// admission rejections and quarantine entries across all ports.
+func (n *Network) ByzantineStats() (rejected, quarantined uint64) {
+	return n.rejectedTotal, n.quarantineTotal
 }
 
 // LinkBoundUnits returns topology link i's per-hop contribution to the

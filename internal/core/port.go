@@ -13,9 +13,10 @@ import (
 type portState int
 
 const (
-	portDown   portState = iota
-	portInit             // INIT sent, waiting for INIT-ACK
-	portSynced           // one-way delay measured, beacons flowing
+	portDown        portState = iota
+	portInit                  // INIT sent, waiting for INIT-ACK
+	portSynced                // one-way delay measured, beacons flowing
+	portQuarantined           // hardened mode: peer failed admission, cooling down
 )
 
 func (s portState) String() string {
@@ -26,6 +27,8 @@ func (s portState) String() string {
 		return "init"
 	case portSynced:
 		return "synced"
+	case portQuarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("portState(%d)", int(s))
 	}
@@ -113,6 +116,22 @@ type Port struct {
 	violationCount  int
 	violationWindow uint64 // tick at which the current window started
 
+	// Hardened-mode state (see harden.go). admitValid marks the session
+	// past its first admitted message (whose forward lead the quorum
+	// combiner vets); pullWindow/pulledUnits budget how far this peer
+	// has pulled the counter forward per sliding window of the
+	// free-running tick clock; lastTarget/lastTargetLocal hold the most
+	// recent admitted observation — this port's quorum vote.
+	admitValid      bool
+	pullWindow      uint64 // free-running tick at which the pull window started
+	pulledUnits     int64  // forward pull admitted within the current window
+	lastTarget      uint64
+	lastTargetLocal uint64
+	haveTarget      bool
+	rejectCount     int
+	rejectWindow    uint64     // tick at which the rejection window started
+	quarEvent       *sim.Event // quarantine cooldown timer
+
 	// Stats.
 	beaconsReceived uint64
 	beaconsIgnored  uint64
@@ -174,6 +193,8 @@ func (p *Port) Up() {
 	p.violationCount = 0
 	p.initBackoff = 0
 	p.sessionMinOwd = -1
+	p.resetAdmission()
+	p.rejectCount = 0
 	if max := p.cfg().CDCMaxExtraTicks; max > 0 {
 		p.cdcFill = p.rng.IntN(max + 1)
 	}
@@ -205,6 +226,11 @@ func (p *Port) Down() {
 		p.watchEvent.Cancel()
 		p.watchEvent = nil
 	}
+	if p.quarEvent != nil {
+		p.quarEvent.Cancel()
+		p.quarEvent = nil
+	}
+	p.resetAdmission()
 }
 
 // initSamples is how many INIT/INIT-ACK exchanges one delay measurement
@@ -310,7 +336,7 @@ func (p *Port) insert(t phy.MsgType, payload uint64) {
 // MsbEveryBeacons-th message instead carries the counter's upper bits.
 func (p *Port) sendBeacon() {
 	now := p.sch().Now()
-	gc := p.dev.gc.at(now)
+	gc := p.dev.gc.at(now) + p.dev.lieUnits
 	p.beaconsSent++
 	tel := &p.dev.net.tel
 	tel.sentN++
@@ -336,10 +362,10 @@ func (p *Port) sendJoinPair() {
 	slot1 := p.gate.NextSlot(cycle)
 	slot2 := p.gate.NextSlot(slot1 + 1)
 	p.sch().At(p.dev.clock.TimeOfCount(slot1*p.pd), func() {
-		p.insert(phy.MsgBeaconMSB, p.dev.GlobalCounter()>>p.counterBits())
+		p.insert(phy.MsgBeaconMSB, (p.dev.GlobalCounter()+p.dev.lieUnits)>>p.counterBits())
 	})
 	p.sch().At(p.dev.clock.TimeOfCount(slot2*p.pd), func() {
-		p.insert(phy.MsgBeaconJoin, p.dev.GlobalCounter())
+		p.insert(phy.MsgBeaconJoin, p.dev.GlobalCounter()+p.dev.lieUnits)
 	})
 }
 
@@ -442,6 +468,12 @@ func (p *Port) process(m phy.Message) {
 		p.dropDown()
 		return
 	}
+	if p.state == portQuarantined {
+		// A quarantined port trusts nothing from its peer — not even an
+		// INIT, which would let a Byzantine peer re-arm a session before
+		// the cooldown's re-INIT escape hatch runs.
+		return
+	}
 	p.lastRx = p.sch().Now()
 	switch m.Type {
 	case phy.MsgInit:
@@ -529,6 +561,7 @@ func (p *Port) finishInit() {
 	p.owdUnits = d
 	p.setState(portSynced)
 	p.initBackoff = 0
+	p.resetAdmission() // fresh session, fresh baseline
 	tel := &p.dev.net.tel
 	tel.owd.Observe(float64(d))
 	tel.tr.Record(p.sch().Now(), telemetry.KindSynced, p.tname, d, int64(len(p.initRTTs)), "")
@@ -536,11 +569,22 @@ func (p *Port) finishInit() {
 		p.initEvent.Cancel()
 		p.initEvent = nil
 	}
-	// A JOIN that raced ahead of our delay measurement can now apply.
+	// A JOIN that raced ahead of our delay measurement can now apply —
+	// in hardened mode through the same session-initial admission as
+	// any other JOIN, or the race would be a bypass.
 	if p.pendingJoin != nil {
 		target := *p.pendingJoin + uint64(d)
 		p.pendingJoin = nil
-		p.dev.jump(target, p, true)
+		local := p.dev.GlobalCounter()
+		if !cfg.Hardened || p.admitTarget(target, local, true) {
+			if cfg.Hardened {
+				p.noteTarget(target, local)
+			}
+			p.dev.jump(target, p, true)
+		}
+		if p.state != portSynced {
+			return // the rejected JOIN tripped quarantine
+		}
 	}
 	// Announce our counter for max-agreement, then start beacons and
 	// the beacon-loss watchdog.
@@ -582,6 +626,17 @@ func (p *Port) handleBeacon(lsb uint64) {
 		p.recordViolation()
 		return
 	}
+	if cfg.Hardened {
+		// Bounded-jump admission: a beacon that passes the guard can
+		// still ratchet the fabric a few units at a time; the windowed
+		// pull budget caps what this peer may drag the counter forward.
+		if !p.admitTarget(target, local, false) {
+			p.beaconsIgnored++
+			tel.ignoredN++
+			return
+		}
+		p.noteTarget(target, local)
+	}
 	tel.offBatch.Observe(float64(offset))
 	if tel.tr.Enabled(telemetry.KindBeaconRx) {
 		tel.tr.Record(now, telemetry.KindBeaconRx, p.tname, offset, 0, "")
@@ -609,8 +664,10 @@ func (p *Port) handleBeacon(lsb uint64) {
 	}
 }
 
-// handleJoin applies a BEACON-JOIN: an unguarded forward adjustment to
-// the agreed maximum counter.
+// handleJoin applies a BEACON-JOIN: a forward adjustment to the agreed
+// maximum counter — unguarded in plain DTP, which makes it the prime
+// Byzantine attack surface; hardened mode routes it through the same
+// bounded-jump admission as beacons.
 func (p *Port) handleJoin(lsb uint64) {
 	bits := p.counterBits()
 	var full uint64
@@ -624,7 +681,14 @@ func (p *Port) handleJoin(lsb uint64) {
 		return
 	}
 	target := full + uint64(p.owdUnits)
-	if target > p.dev.GlobalCounter() {
+	local := p.dev.GlobalCounter()
+	if p.cfg().Hardened {
+		if !p.admitTarget(target, local, true) {
+			return
+		}
+		p.noteTarget(target, local)
+	}
+	if target > local {
 		p.jumps++
 		p.dev.jump(target, p, true)
 	}
@@ -659,6 +723,7 @@ func (p *Port) recordViolation() {
 const (
 	demoteBeaconLoss     = 0 // peer silent for BeaconTimeoutIntervals
 	demoteFaultyCooldown = 1 // faulty mark outlived FaultyCooldownTicks
+	demoteQuarantine     = 2 // quarantine cooldown expired: re-INIT escape hatch
 )
 
 // scheduleWatchdog arms the beacon-loss watchdog: while SYNCED, the port
@@ -715,6 +780,7 @@ func (p *Port) demote(reason int64) {
 	p.faulty = false
 	p.violationCount = 0
 	p.initBackoff = 0
+	p.resetAdmission()
 	if p.beaconEvent != nil {
 		p.beaconEvent.Cancel()
 		p.beaconEvent = nil

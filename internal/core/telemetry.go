@@ -37,7 +37,10 @@ type coreMetrics struct {
 	demotions      *telemetry.Counter
 	droppedDown    *telemetry.Counter
 	crashes        *telemetry.Counter
+	rejections     *telemetry.Counter
+	quarantines    *telemetry.Counter
 	portsUp        *telemetry.Gauge
+	quarantinedG   *telemetry.Gauge
 	offsets        *telemetry.Histogram
 	owd            *telemetry.Histogram
 
@@ -80,8 +83,14 @@ func (n *Network) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 			"Blocks that arrived on a down port and were discarded."),
 		crashes: reg.Counter("dtp_device_crashes_total",
 			"Devices crashed (power loss: all ports down, counter content lost)."),
+		rejections: reg.Counter("dtp_core_counter_rejected_total",
+			"Remote counter advances refused by hardened bounded-jump admission."),
+		quarantines: reg.Counter("dtp_core_port_quarantines_total",
+			"Ports that quarantined their peer after repeated admission rejections."),
 		portsUp: reg.Gauge("dtp_ports_up",
 			"Ports currently up (in INIT or SYNC state)."),
+		quarantinedG: reg.Gauge("dtp_core_ports_quarantined",
+			"Ports currently in hardened-mode quarantine (excluded from the audited active set)."),
 		offsets: reg.Histogram("dtp_beacon_offset_ticks",
 			"Per-beacon hardware offset samples t2-t1-OWD in counter units (§6.2).",
 			telemetry.LinearBuckets(-8, 1, 17)),
@@ -146,6 +155,11 @@ func (p *Port) setState(s portState) {
 	p.state = s
 	tel := &p.dev.net.tel
 	tel.transitions.Inc()
+	if old == portQuarantined {
+		tel.quarantinedG.Add(-1)
+	} else if s == portQuarantined {
+		tel.quarantinedG.Add(1)
+	}
 	if tel.tr.Enabled(telemetry.KindStateChange) {
 		tel.tr.Record(p.sch().Now(), telemetry.KindStateChange, p.tname,
 			int64(old), int64(s), s.String())

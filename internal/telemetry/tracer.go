@@ -81,6 +81,16 @@ const (
 	// Detail the reason name. Readers age out at the snapshot MaxAge and
 	// then fail closed (stale) instead of serving unbounded time.
 	KindTimesvcDegraded
+	// KindCounterRejected: hardened mode's bounded-jump admission
+	// refused a remote counter advance on a synced session; Who is the
+	// receiving port, V1 the proposed advance in units, V2 the allowance
+	// it exceeded, and Detail "beacon" or "join".
+	KindCounterRejected
+	// KindPortQuarantined: repeated admission rejections pushed a port
+	// into quarantine — it stops synchronizing to its peer and its link
+	// leaves the audited active set until the cooldown re-INIT; V1 is
+	// the rejection count that tripped it, V2 the session OWD in units.
+	KindPortQuarantined
 
 	numKinds
 )
@@ -93,6 +103,7 @@ var kindNames = [numKinds]string{
 	"port_demoted", "chaos_inject", "chaos_clear",
 	"device_crash", "device_restart",
 	"timesvc_publish", "timesvc_degraded",
+	"counter_rejected", "port_quarantined",
 }
 
 // String returns the stable snake_case name used in JSONL dumps.
