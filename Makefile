@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench bench-save experiments examples audit chaos campaign byzantine serve-bench flight attr-bench
+.PHONY: all build vet test test-short test-race bench bench-save bench-engine experiments examples audit chaos campaign byzantine serve-bench flight attr-bench
 
 all: build vet test
 
@@ -26,13 +26,27 @@ test-race:
 bench:
 	go test -bench . -benchtime 1x -benchmem -run '^$$' .
 
+# Engine throughput gate: refresh BENCH_8.json (events/sec on
+# fattree:8, calendar vs heap-reference vs recorded seed baseline) and
+# fail if throughput regressed more than 15% below the committed
+# record, or fell under 5x the seed. Both gates arm only on hosts with
+# >= 8 CPUs (the BENCH_5/BENCH_6 policy); smaller hosts still refresh
+# the record. The baseline is read before the record is rewritten.
+bench-engine:
+	BENCH8_OUT=$$(pwd)/BENCH_8.json BENCH8_BASELINE=$$(pwd)/BENCH_8.json \
+		go test -bench 'BenchmarkEngineFattree8|BenchmarkCampaignJobsScaling' -benchtime 1x -run '^$$' .
+
 # Snapshot benchmark output to a dated file for benchstat against
-# future PRs, and refresh BENCH_5.json with the campaign runner's
-# parallel-vs-serial numbers.
+# future PRs, refresh BENCH_5.json with the campaign runner's
+# parallel-vs-serial numbers, and refresh BENCH_8.json in full (the
+# fattree:16 capacity run and the campaign -jobs scaling sweep ride
+# along under BENCH8_FULL=1) with the regression gate armed.
 bench-save:
 	mkdir -p bench
 	go test -bench . -benchtime 1x -benchmem -run '^$$' . | tee bench/$$(date +%Y%m%d)-$$(git rev-parse --short HEAD).txt
 	CAMPAIGN_BENCH_OUT=$$(pwd)/BENCH_5.json go test -bench BenchmarkCampaign$$ -benchtime 1x -run '^$$' ./internal/campaign
+	BENCH8_FULL=1 BENCH8_OUT=$$(pwd)/BENCH_8.json BENCH8_BASELINE=$$(pwd)/BENCH_8.json \
+		go test -bench 'BenchmarkEngineFattree8|BenchmarkCampaignJobsScaling' -benchtime 1x -timeout 30m -run '^$$' .
 
 # Run the online 4TD-bound auditor over the quickstart topology under
 # MTU load; dtpsim exits nonzero on any bound violation.

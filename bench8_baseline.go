@@ -1,0 +1,13 @@
+package dtp
+
+// Seed-engine baseline for the BENCH_8 events/sec trajectory (see
+// perf_bench_test.go). Measured on the dev container (1 CPU) at the
+// commit below by running BenchmarkEngineFattree8's exact workload —
+// fattree:8, beacon interval 60000 ticks, 10 simulated seconds — on the
+// seed engine: container/heap scheduler, one *Event allocation per
+// schedule, per-beacon closure chains in internal/core. Override with
+// BENCH8_SEED_EPS when benchmarking on different hardware.
+const (
+	seedBaselineEventsPerSec = 2_612_138
+	seedBaselineCommit       = "ba7970f"
+)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"github.com/dtplab/dtp"
@@ -50,7 +51,43 @@ var (
 	timelineOut   = flag.String("timeline-out", "", "single mode: write the run's windowed timeline as JSONL")
 	timelineEvery = flag.Duration("timeline-every", 100*time.Microsecond, "timeline sampling cadence (simulated time)")
 	flightDir     = flag.String("flight-dir", "", "arm the flight recorder: bundles land here (campaign mode: under per-run subdirectories)")
+	pprofPrefix   = flag.String("pprof", "", "write <prefix>.cpu and <prefix>.allocs pprof profiles covering the whole run")
 )
+
+// stopProfiles flushes the -pprof profiles; exit routes every normal
+// termination through it so profiles survive nonzero exits.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles arms CPU and allocation profiling for the whole run
+// (EXPERIMENTS.md "Profiling the engine"). The returned stop function
+// writes <prefix>.allocs and finishes <prefix>.cpu.
+func startProfiles(prefix string) func() {
+	cpuF, err := os.Create(prefix + ".cpu")
+	if err != nil {
+		cliutil.Fatal("dtpsim", 1, err)
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cliutil.Fatal("dtpsim", 1, err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		allocF, err := os.Create(prefix + ".allocs")
+		if err != nil {
+			cliutil.Fatal("dtpsim", 1, err)
+		}
+		defer allocF.Close()
+		if err := pprof.Lookup("allocs").WriteTo(allocF, 0); err != nil {
+			cliutil.Fatal("dtpsim", 1, err)
+		}
+		fmt.Fprintf(os.Stderr, "dtpsim: profiles written to %s.cpu and %s.allocs\n", prefix, prefix)
+	}
+}
 
 func main() {
 	shared.Register(flag.CommandLine,
@@ -61,11 +98,16 @@ func main() {
 	if err := shared.Validate(); err != nil {
 		cliutil.Fatal("dtpsim", 2, err)
 	}
+	if *pprofPrefix != "" {
+		stopProfiles = startProfiles(*pprofPrefix)
+	}
 	if *sweepSeeds > 1 || *gridFlag != "" {
 		runCampaign()
+		stopProfiles()
 		return
 	}
 	runSingle()
+	stopProfiles()
 }
 
 // runCampaign expands the grid (from -campaign JSON, or from the
@@ -125,7 +167,7 @@ func runCampaign() {
 	}
 	fmt.Fprintln(os.Stderr, rep.Summary())
 	if !rep.OK() {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -198,6 +240,7 @@ func runSingle() {
 	}
 
 	sys.Start()
+	wallStart := time.Now()
 	if err := sys.RunUntilSynced(time.Second); err != nil {
 		cliutil.Fatal("dtpsim", 1, err)
 	}
@@ -274,6 +317,25 @@ func runSingle() {
 	}
 	fmt.Printf("worst offset over run: %d ticks = %.1f ns (bound %.1f ns)\n",
 		worst, float64(worst)*sys.TickNanos(), sys.BoundNanos())
+
+	// Engine throughput: the whole run (sync + steady state) against
+	// wall time, in the two figures BENCH_8.json tracks.
+	wall := time.Since(wallStart).Seconds()
+	events := sys.EventsProcessed()
+	eventsSec := float64(events) / wall
+	devSimPerWall := float64(len(g.Nodes)) * sys.Now().Seconds() / wall
+	fmt.Printf("engine: %d events in %.2f s wall = %.0f events/sec (%.1f device-sim-seconds/wall-second)\n",
+		events, wall, eventsSec, devSimPerWall)
+	if reg != nil {
+		rate := reg.Gauge("dtp_sim_events_per_sec",
+			"Simulation events dispatched per wall-clock second over the whole run (host-dependent).")
+		// Host-dependent values stay out of deterministic artifacts, the
+		// EnableSchedulerMetrics(false) policy: when -metrics-out or
+		// -flight-dir is armed the gauge is exported at its zero value.
+		if shared.MetricsOut == "" && *flightDir == "" {
+			rate.Set(eventsSec)
+		}
+	}
 	chaosOK := true
 	if eng != nil {
 		// The watch loop may end before the last fault clears; the
@@ -354,15 +416,15 @@ func runSingle() {
 		}
 	}
 	if !chaosOK {
-		os.Exit(1)
+		exit(1)
 	}
 	// Under chaos the instantaneous worst legitimately exceeds the bound
 	// while faults are active; the engine's windowed verification above
 	// is the authoritative check then.
 	if eng == nil && worst > sys.BoundTicks() {
-		os.Exit(1)
+		exit(1)
 	}
 	if aud != nil && aud.Violations() > 0 {
-		os.Exit(1)
+		exit(1)
 	}
 }

@@ -122,18 +122,28 @@ func ParseTopology(spec string) (Topology, error) {
 type Option func(*config)
 
 type config struct {
-	seed   uint64
-	cfg    core.Config
-	ppm    map[string]float64
-	daemon daemon.Config
-	mixed  []LinkSpeed
-	reg    *telemetry.Registry
-	tracer *telemetry.Tracer
+	seed      uint64
+	cfg       core.Config
+	ppm       map[string]float64
+	daemon    daemon.Config
+	mixed     []LinkSpeed
+	reg       *telemetry.Registry
+	tracer    *telemetry.Tracer
+	heapSched bool
 }
 
 // WithSeed sets the deterministic run seed (default 1).
 func WithSeed(seed uint64) Option {
 	return func(c *config) { c.seed = seed }
+}
+
+// WithHeapScheduler selects the binary-heap reference discipline (the
+// seed engine's data structure: O(log n) index sifts per operation)
+// instead of the calendar queue. The dispatch order is identical — the
+// reference exists for the equivalence property tests and the BENCH_8
+// speedup trajectory, not for production runs.
+func WithHeapScheduler() Option {
+	return func(c *config) { c.heapSched = true }
 }
 
 // WithBeaconInterval sets the resynchronization period in ticks
@@ -293,6 +303,9 @@ func New(t Topology, opts ...Option) (*System, error) {
 		o(&c)
 	}
 	sch := sim.NewScheduler()
+	if c.heapSched {
+		sch = sim.NewHeapScheduler()
+	}
 	var coreOpts []core.Option
 	if c.ppm != nil {
 		coreOpts = append(coreOpts, core.WithPPM(c.ppm))
@@ -414,6 +427,11 @@ func (s *System) BoundNanos() float64 {
 }
 
 // ByzantineStats reports the hardened-mode defense activity so far:
+// EventsProcessed returns the number of scheduler events dispatched
+// since construction — the numerator of the engine's events/sec figure
+// (see ThroughputSummary and BENCH_8.json).
+func (s *System) EventsProcessed() uint64 { return s.sch.Processed() }
+
 // remote counter advances refused by bounded-jump admission, and ports
 // quarantined after repeated rejections. Both are zero on honest runs
 // and always zero when the System was not built WithHardened.

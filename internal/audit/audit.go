@@ -151,7 +151,7 @@ type Auditor struct {
 	pairGauges map[[2]int]*telemetry.Gauge
 
 	counters []uint64 // per-node snapshot scratch, reused across checks
-	event    *sim.Event
+	event    sim.Event
 	stopped  bool
 }
 
@@ -237,10 +237,7 @@ func (a *Auditor) Start() {
 // Stop cancels the periodic check.
 func (a *Auditor) Stop() {
 	a.stopped = true
-	if a.event != nil {
-		a.event.Cancel()
-		a.event = nil
-	}
+	a.event.Cancel()
 }
 
 // degradeWindow is one declared interval during which bound breaches

@@ -74,6 +74,15 @@ type Grid struct {
 	// both values to measure an attack's blast radius with the defenses
 	// off against the fabric's tolerance with them on.
 	Hardened []bool `json:"hardened,omitempty"`
+	// Liars sweeps the number of simultaneous Byzantine liar devices:
+	// each run synthesizes that many KindLiar faults on devices chosen
+	// by a deterministic stride across the topology's node list, so the
+	// axis traces a tolerance curve (how many concurrent liars a mode
+	// withstands) per topology. 0 means no synthesized liars; combine
+	// with Hardened to compare the curve with defenses on and off.
+	// Synthesized faults append to any Chaos scenario on the same
+	// point. Default: [0].
+	Liars []int `json:"liars,omitempty"`
 
 	// Wander enables oscillator temperature wander (10 ms interval,
 	// 100 ppb steps — the dtpsim default) on every run.
@@ -120,6 +129,9 @@ type Point struct {
 	Chaos string `json:"chaos,omitempty"`
 	// Hardened selects the Byzantine-hardened protocol mode.
 	Hardened bool `json:"hardened,omitempty"`
+	// Liars is how many synthesized simultaneous Byzantine liar devices
+	// this run carries (see Grid.Liars).
+	Liars int `json:"liars,omitempty"`
 }
 
 func (p Point) String() string {
@@ -130,6 +142,9 @@ func (p Point) String() string {
 	}
 	if p.Hardened {
 		s += " hardened"
+	}
+	if p.Liars > 0 {
+		s += fmt.Sprintf(" liars=%d", p.Liars)
 	}
 	return s
 }
@@ -156,6 +171,9 @@ func (g Grid) withDefaults() Grid {
 	}
 	if len(g.Hardened) == 0 {
 		g.Hardened = []bool{false}
+	}
+	if len(g.Liars) == 0 {
+		g.Liars = []int{0}
 	}
 	if g.SamplePeriod <= 0 {
 		g.SamplePeriod = Duration(100 * time.Microsecond)
@@ -192,12 +210,17 @@ func (g Grid) Validate() error {
 	if g.BER < 0 {
 		return fmt.Errorf("campaign: BER must be >= 0, got %g", g.BER)
 	}
+	for _, l := range g.Liars {
+		if l < 0 {
+			return fmt.Errorf("campaign: liar count must be >= 0, got %d", l)
+		}
+	}
 	return nil
 }
 
 // Expand resolves the grid into its runs, in grid order: topology
-// outermost, then load, beacon, duration, chaos, hardened, and seed
-// innermost — so seed sweeps of one configuration are contiguous.
+// outermost, then load, beacon, duration, chaos, hardened, liars, and
+// seed innermost — so seed sweeps of one configuration are contiguous.
 func (g Grid) Expand() []Point {
 	g = g.withDefaults()
 	var pts []Point
@@ -207,13 +230,15 @@ func (g Grid) Expand() []Point {
 				for _, dur := range g.Durations {
 					for _, chaos := range g.Chaos {
 						for _, hardened := range g.Hardened {
-							for _, seed := range g.Seeds {
-								pts = append(pts, Point{
-									Index: len(pts), Topo: topo, Seed: seed,
-									Load: load, Beacon: beacon,
-									Duration: dur, Chaos: chaos,
-									Hardened: hardened,
-								})
+							for _, liars := range g.Liars {
+								for _, seed := range g.Seeds {
+									pts = append(pts, Point{
+										Index: len(pts), Topo: topo, Seed: seed,
+										Load: load, Beacon: beacon,
+										Duration: dur, Chaos: chaos,
+										Hardened: hardened, Liars: liars,
+									})
+								}
 							}
 						}
 					}

@@ -11,6 +11,7 @@ import (
 	"github.com/dtplab/dtp"
 	"github.com/dtplab/dtp/internal/par"
 	"github.com/dtplab/dtp/internal/stats"
+	"github.com/dtplab/dtp/internal/topo"
 )
 
 // Options control campaign execution. They affect scheduling only —
@@ -133,6 +134,13 @@ func RunPoint(g Grid, p Point) (res Result) {
 	var scenario *dtp.ChaosScenario
 	if p.Chaos != "" {
 		if scenario, err = dtp.LoadChaosScenario(p.Chaos); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+	if p.Liars > 0 {
+		scenario, err = withLiars(scenario, topo, p)
+		if err != nil {
 			res.Err = err.Error()
 			return res
 		}
@@ -283,6 +291,58 @@ func RunPoint(g Grid, p Point) (res Result) {
 		}
 	}
 	return res
+}
+
+// withLiars appends p.Liars synthesized simultaneous Byzantine liar
+// faults to the scenario (creating one when the point has no Chaos
+// file). Liar devices are picked by a deterministic stride across the
+// topology's host nodes (falling back to all nodes when the builder
+// marked none) — a pure function of (topo, liar count), so the same
+// grid point always attacks the same devices and campaign output stays
+// byte-identical at any -jobs width. Hosts, not switches: a compromised
+// server is the threat model, and quarantining every link of a lying
+// switch would partition honest devices — a different failure mode than
+// the tolerance curve measures. Fault shape follows
+// examples/chaos/liar.json with timings compressed to campaign scale:
+// all liars start together at 400 µs (comfortably past INIT on every
+// stock topology) and lie for half the measurement window, leaving the
+// other half (plus the scenario grace) for reconvergence.
+func withLiars(sc *dtp.ChaosScenario, g dtp.Topology, p Point) (*dtp.ChaosScenario, error) {
+	var hosts []topo.Node
+	for _, n := range g.Nodes {
+		if n.Kind == topo.Host {
+			hosts = append(hosts, n)
+		}
+	}
+	if len(hosts) == 0 {
+		hosts = g.Nodes
+	}
+	if p.Liars >= len(hosts) {
+		return nil, fmt.Errorf("campaign: %d liars but topology %q has only %d host devices (at least one honest host required)",
+			p.Liars, p.Topo, len(hosts))
+	}
+	if sc == nil {
+		sc = &dtp.ChaosScenario{
+			Name:        fmt.Sprintf("liars-%d", p.Liars),
+			SettleGrace: dtp.ChaosD(100 * time.Microsecond),
+			// Reconvergence after a quarantine cooldown and re-INIT
+			// round; generous enough for every liar count the curve
+			// sweeps, short enough for CI.
+			ReconvergeDeadline: dtp.ChaosD(3 * time.Millisecond),
+		}
+	}
+	for i := 0; i < p.Liars; i++ {
+		dev := hosts[i*len(hosts)/p.Liars]
+		sc.Faults = append(sc.Faults, dtp.ChaosFault{
+			Kind:      "liar",
+			Device:    dev.Name,
+			At:        dtp.ChaosD(400 * time.Microsecond),
+			Duration:  dtp.ChaosD(p.Duration.Std() / 2),
+			JumpUnits: 5000,
+			Cadence:   dtp.ChaosD(2 * time.Microsecond),
+		})
+	}
+	return sc, nil
 }
 
 // writeTimeline exports a run's timeline window as JSONL into its

@@ -80,35 +80,39 @@ func (d *Device) PPM() float64 { return d.clock.PPM() }
 // from a BEACON-JOIN and is propagated to every other active port so the
 // whole subnet converges to the new maximum (§3.2 "Network dynamics").
 func (d *Device) jump(target uint64, from *Port, join bool) {
-	apply := func() {
-		now := d.net.Sch.Now()
-		cur := d.gc.at(now)
-		if target <= cur {
-			return
-		}
-		d.gc.setAt(target, now)
-		tel := &d.net.tel
-		tel.jumpsN++
-		if tel.tr.Enabled(telemetry.KindCounterJump) {
-			joinFlag := int64(0)
-			if join {
-				joinFlag = 1
-			}
-			tel.tr.Record(now, telemetry.KindCounterJump, from.tname,
-				int64(target-cur), joinFlag, "")
-		}
-		if join {
-			for _, p := range d.ports {
-				if p != from && p.state == portSynced {
-					p.sendJoinPair()
-				}
-			}
-		}
-	}
 	if lat := d.net.cfg.MaxTreeLatencyTicks; lat > 0 {
-		d.net.Sch.After(d.tickDur(lat), apply)
+		d.net.Sch.After(d.tickDur(lat), func() { d.applyJump(target, from, join) })
 	} else {
-		apply()
+		d.applyJump(target, from, join)
+	}
+}
+
+// applyJump performs the counter adjustment. It is a named method (not
+// a closure inside jump) so the common MaxTreeLatencyTicks == 0 path —
+// every beacon that moves the counter — runs without allocating.
+func (d *Device) applyJump(target uint64, from *Port, join bool) {
+	now := d.net.Sch.Now()
+	cur := d.gc.at(now)
+	if target <= cur {
+		return
+	}
+	d.gc.setAt(target, now)
+	tel := &d.net.tel
+	tel.jumpsN++
+	if tel.tr.Enabled(telemetry.KindCounterJump) {
+		joinFlag := int64(0)
+		if join {
+			joinFlag = 1
+		}
+		tel.tr.Record(now, telemetry.KindCounterJump, from.tname,
+			int64(target-cur), joinFlag, "")
+	}
+	if join {
+		for _, p := range d.ports {
+			if p != from && p.state == portSynced {
+				p.sendJoinPair()
+			}
+		}
 	}
 }
 

@@ -196,18 +196,9 @@ func (p *Port) quarantine() {
 	p.asm = nil
 	p.resetAdmission()
 	p.rejectCount = 0
-	if p.beaconEvent != nil {
-		p.beaconEvent.Cancel()
-		p.beaconEvent = nil
-	}
-	if p.watchEvent != nil {
-		p.watchEvent.Cancel()
-		p.watchEvent = nil
-	}
-	if p.initEvent != nil {
-		p.initEvent.Cancel()
-		p.initEvent = nil
-	}
+	p.beaconEvent.Cancel()
+	p.watchEvent.Cancel()
+	p.initEvent.Cancel()
 	cool := p.dev.tickDur(int(p.cfg().QuarantineCooldownTicks))
 	p.quarEvent = p.sch().After(cool, p.releaseQuarantine)
 }
@@ -218,7 +209,6 @@ func (p *Port) quarantine() {
 // still-lying peer earns the next quarantine within a handful of
 // rejected messages.
 func (p *Port) releaseQuarantine() {
-	p.quarEvent = nil
 	if p.state != portQuarantined {
 		return
 	}

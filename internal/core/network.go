@@ -153,8 +153,14 @@ func NewNetwork(sch *sim.Scheduler, seed uint64, graph topo.Graph, cfg Config, o
 			pd = uint64(phy.ProfileFor(speed).Delta)
 			fragmented = fragmented || speed == phy.Speed1G
 		}
-		pa := &Port{dev: a, idx: len(a.ports), wire: wireAB, rng: n.rng.Fork(fmt.Sprintf("port/%d/a", li)), gate: OpenGate{}, owdUnits: -1, pd: pd, fragmented: fragmented}
-		pb := &Port{dev: b, idx: len(b.ports), wire: wireBA, rng: n.rng.Fork(fmt.Sprintf("port/%d/b", li)), gate: OpenGate{}, owdUnits: -1, pd: pd, fragmented: fragmented}
+		pa := &Port{
+			portHot:  portHot{dev: a, sched: sch, wire: wireAB, rng: n.rng.Fork(fmt.Sprintf("port/%d/a", li)), gate: OpenGate{}, owdUnits: -1, pd: pd, fragmented: fragmented},
+			portCold: portCold{idx: len(a.ports)},
+		}
+		pb := &Port{
+			portHot:  portHot{dev: b, sched: sch, wire: wireBA, rng: n.rng.Fork(fmt.Sprintf("port/%d/b", li)), gate: OpenGate{}, owdUnits: -1, pd: pd, fragmented: fragmented},
+			portCold: portCold{idx: len(b.ports)},
+		}
 		pa.peer, pb.peer = pb, pa
 		if parentLink != nil {
 			pa.uplink = parentLink[l.A] == li

@@ -36,18 +36,72 @@ func (s portState) String() string {
 
 // Port is one DTP-enabled network port. It owns the outbound wire toward
 // its peer, the Algorithm 1 state machine, and per-port failure handling.
+//
+// The fields are split into a hot block and a cold block. The hot block
+// packs everything the steady-state beacon chain (beacon timer → TX
+// pipeline → wire → RX pipeline → CDC crossing → process) reads or
+// writes, contiguous at the head of the struct so the chain works out
+// of the first couple of cache lines; the cold block carries INIT
+// bookkeeping, watchdog, hardened-mode, and diagnostic state that only
+// rare transitions touch. Field promotion keeps every access site
+// unchanged.
 type Port struct {
+	portHot
+	portCold
+}
+
+// portHot is the per-beacon working set.
+type portHot struct {
 	dev  *Device
-	idx  int
 	peer *Port
 	wire *link.Wire // outbound direction
 	rng  *sim.RNG
 	gate TxGate
+	// sched caches dev.net.Sch: the scheduler is consulted several
+	// times per event and the two-level pointer chase shows up in
+	// profiles at warehouse scale.
+	sched *sim.Scheduler
 
 	state portState
+	// pd is the number of device clock ticks per port cycle: 1 in a
+	// homogeneous network (the device clock IS the port clock), or the
+	// port speed's Delta in a mixed-speed network whose devices run a
+	// 0.32 ns base clock (§7). All PHY-timed arithmetic — insertion
+	// slots, pipeline delays, beacon cadence, CDC alignment — works in
+	// port cycles of pd device ticks.
+	pd uint64
 	// owdUnits is the one-way delay measured during INIT, in counter
 	// units; -1 until measured.
 	owdUnits int64
+	// cdcFill is the synchronization-FIFO fill level latched when the
+	// link came up: the "one random delay" of §2.5. Like a PCS elastic
+	// buffer, the fill level is constant for the life of the link
+	// session; only arrivals inside the metastability band dither.
+	cdcFill int
+	// fragmented selects the 1 GbE fragment encoding for this port.
+	fragmented bool
+	// uplink marks the port leading toward the master in §5.4 mode; only
+	// uplink ports adjust the device counter then.
+	uplink bool
+	// faulty marks the peer as failed per §3.2 sliding-window detection.
+	faulty bool
+	// lastRx is the arrival time of the last message processed from the
+	// peer (any type); the beacon-loss watchdog reads it.
+	lastRx simTime
+
+	beaconEvent sim.Event
+	beaconsSent uint64
+
+	// Beacon stats (hot: bumped per received beacon).
+	beaconsReceived uint64
+	beaconsIgnored  uint64
+	jumps           uint64
+}
+
+// portCold is everything only bring-up, teardown, hardening, and
+// diagnostics touch.
+type portCold struct {
+	idx int
 	// sessionMinOwd is the smallest OWD any INIT round of this link
 	// session measured (-1 before the first). A watchdog demote re-runs
 	// INIT without a link bounce, so the CDC fill — and with it the
@@ -64,54 +118,28 @@ type Port struct {
 	// initRTTs collects the RTT samples of this INIT round; the final
 	// OWD uses the minimum, which carries the least CDC noise.
 	initRTTs  []int64
-	initEvent *sim.Event // retry timer
+	initEvent sim.Event // retry timer
 	// initBackoff is the consecutive-empty-round count; the INIT retry
 	// timeout doubles with it (capped) so a flapping or dead peer cannot
 	// spin the state machine at full probe rate forever.
 	initBackoff uint
 
-	beaconEvent *sim.Event
-	beaconsSent uint64
-
-	// Beacon-loss watchdog: lastRx is the arrival time of the last
-	// message processed from the peer (any type); watchEvent fires
-	// periodically while SYNCED and demotes the port back to INIT when
-	// the peer has been silent for BeaconTimeoutIntervals beacon
-	// intervals, or when a faulty mark has outlived FaultyCooldownTicks.
-	lastRx     simTime
-	watchEvent *sim.Event
+	// watchEvent fires periodically while SYNCED and demotes the port
+	// back to INIT when the peer has been silent (lastRx) for
+	// BeaconTimeoutIntervals beacon intervals, or when a faulty mark has
+	// outlived FaultyCooldownTicks.
+	watchEvent sim.Event
 
 	// Received-MSB state for reconstructing full 106-bit counters.
 	peerMsb     uint64
 	havePeerMsb bool
 	pendingJoin *uint64 // JOIN that arrived before our OWD was measured
 
-	// cdcFill is the synchronization-FIFO fill level latched when the
-	// link came up: the "one random delay" of §2.5. Like a PCS elastic
-	// buffer, the fill level is constant for the life of the link
-	// session; only arrivals inside the metastability band dither.
-	cdcFill int
-
-	// uplink marks the port leading toward the master in §5.4 mode; only
-	// uplink ports adjust the device counter then.
-	uplink bool
-
 	// asm reassembles 1 GbE message fragments (nil until first use).
 	asm *phy.Assembler
 
-	// pd is the number of device clock ticks per port cycle: 1 in a
-	// homogeneous network (the device clock IS the port clock), or the
-	// port speed's Delta in a mixed-speed network whose devices run a
-	// 0.32 ns base clock (§7). All PHY-timed arithmetic — insertion
-	// slots, pipeline delays, beacon cadence, CDC alignment — works in
-	// port cycles of pd device ticks.
-	pd uint64
-	// fragmented selects the 1 GbE fragment encoding for this port.
-	fragmented bool
-
 	// Failure handling (§3.2): guard violations within a sliding window
-	// mark the peer faulty.
-	faulty          bool
+	// mark the peer faulty (the faulty flag itself is hot state).
 	faultyAt        simTime // when the faulty mark was set
 	violationCount  int
 	violationWindow uint64 // tick at which the current window started
@@ -129,14 +157,11 @@ type Port struct {
 	lastTargetLocal uint64
 	haveTarget      bool
 	rejectCount     int
-	rejectWindow    uint64     // tick at which the rejection window started
-	quarEvent       *sim.Event // quarantine cooldown timer
+	rejectWindow    uint64    // tick at which the rejection window started
+	quarEvent       sim.Event // quarantine cooldown timer
 
 	// Stats.
-	beaconsReceived uint64
-	beaconsIgnored  uint64
-	jumps           uint64
-	droppedDown     uint64 // blocks that arrived while the port was down
+	droppedDown uint64 // blocks that arrived while the port was down
 
 	// tname is the precomputed Name() used in trace events, set by
 	// Network.Instrument so the hot path never formats strings.
@@ -214,23 +239,48 @@ func (p *Port) Down() {
 	p.havePeerMsb = false
 	p.pendingJoin = nil
 	p.asm = nil
-	if p.beaconEvent != nil {
-		p.beaconEvent.Cancel()
-		p.beaconEvent = nil
-	}
-	if p.initEvent != nil {
-		p.initEvent.Cancel()
-		p.initEvent = nil
-	}
-	if p.watchEvent != nil {
-		p.watchEvent.Cancel()
-		p.watchEvent = nil
-	}
-	if p.quarEvent != nil {
-		p.quarEvent.Cancel()
-		p.quarEvent = nil
-	}
+	p.beaconEvent.Cancel()
+	p.initEvent.Cancel()
+	p.watchEvent.Cancel()
+	p.quarEvent.Cancel()
 	p.resetAdmission()
+}
+
+// --- Pooled event dispatch --------------------------------------------
+
+// Port actor opcodes: the steady-state beacon chain (beacon timer → TX
+// pipeline → wire → RX pipeline → CDC crossing → process) runs entirely
+// on pooled scheduler events — no closure allocations — with the block
+// or message carried in the two event arguments.
+const (
+	evBeacon   uint8 = iota // a = port-cycle slot the beacon fired at
+	evTxBlock               // a = block payload, b = sync byte: TX pipeline done, launch onto the wire
+	evRxArrive              // a = block payload, b = sync byte: leading edge reached this port
+	evCdc                   // a = block payload, b = sync byte: RX pipeline done, cross clock domains
+	evProcess               // a = message payload, b = message type: aligned to a local tick
+	evWatchdog              // a = silence threshold (sim.Time): beacon-loss sweep
+)
+
+// OnEvent implements sim.Actor.
+func (p *Port) OnEvent(code uint8, a, b uint64) {
+	switch code {
+	case evBeacon:
+		if p.state != portSynced {
+			return
+		}
+		p.sendBeacon()
+		p.scheduleBeacons(a)
+	case evTxBlock:
+		p.wire.SendBlockActor(phy.Block{Sync: byte(b), Payload: a}, p.peer, evRxArrive)
+	case evRxArrive:
+		p.onWireArrival(phy.Block{Sync: byte(b), Payload: a})
+	case evCdc:
+		p.cdcCross(phy.Block{Sync: byte(b), Payload: a})
+	case evProcess:
+		p.process(phy.Message{Type: phy.MsgType(b), Payload: a})
+	case evWatchdog:
+		p.watchdogSweep(simTime(a))
+	}
 }
 
 // initSamples is how many INIT/INIT-ACK exchanges one delay measurement
@@ -318,17 +368,13 @@ func (p *Port) insert(t phy.MsgType, payload uint64) {
 	txDelay := p.cycleDur(p.cfg().TxPipelineTicks)
 	if !p.fragmented {
 		b := codec.EmbedMessage(m)
-		p.sch().After(txDelay, func() {
-			p.wire.SendBlock(b, p.peer.onWireArrival)
-		})
+		p.sch().AfterActor(txDelay, p, evTxBlock, b.Payload, uint64(b.Sync))
 		return
 	}
 	for i, f := range phy.FragmentMessage(codec, m) {
 		b := phy.EmbedFragment(f)
 		d := txDelay + p.cycleDur(i) // consecutive line cycles
-		p.sch().After(d, func() {
-			p.wire.SendBlock(b, p.peer.onWireArrival)
-		})
+		p.sch().AfterActor(d, p, evTxBlock, b.Payload, uint64(b.Sync))
 	}
 }
 
@@ -376,13 +422,7 @@ func (p *Port) scheduleBeacons(fromCycle uint64) {
 	cfg := p.cfg()
 	next := fromCycle + cfg.BeaconIntervalTicks
 	slot := p.gate.NextSlot(next)
-	p.beaconEvent = p.sch().At(p.dev.clock.TimeOfCount(slot*p.pd), func() {
-		if p.state != portSynced {
-			return
-		}
-		p.sendBeacon()
-		p.scheduleBeacons(slot)
-	})
+	p.beaconEvent = p.sch().AtActor(p.dev.clock.TimeOfCount(slot*p.pd), p, evBeacon, slot, 0)
 }
 
 // --- Receive path -----------------------------------------------------
@@ -401,7 +441,7 @@ func (p *Port) onWireArrival(b phy.Block) {
 	// The RX pipeline runs in the recovered clock domain: the sender's
 	// port-cycle rate.
 	rxDelay := p.peer.cycleDur(p.cfg().RxPipelineTicks)
-	p.sch().After(rxDelay, func() { p.cdcCross(b) })
+	p.sch().AfterActor(rxDelay, p, evCdc, b.Payload, uint64(b.Sync))
 }
 
 func (p *Port) cdcCross(b phy.Block) {
@@ -433,7 +473,7 @@ func (p *Port) cdcCross(b phy.Block) {
 	}
 	now := p.sch().Now()
 	tick := p.nextCycleTick(p.dev.clock.CounterAt(now)+1) + uint64(p.cdcExtraCycles(now))*p.pd
-	p.sch().At(p.dev.clock.TimeOfCount(tick), func() { p.process(m) })
+	p.sch().AtActor(p.dev.clock.TimeOfCount(tick), p, evProcess, m.Payload, uint64(m.Type))
 }
 
 // cdcExtraTicks models the synchronization FIFO between the recovered
@@ -491,10 +531,7 @@ func (p *Port) process(m phy.Message) {
 		// and it resets the backoff first.
 		if p.state == portInit && p.initBackoff > 0 {
 			p.initBackoff = 0
-			if p.initEvent != nil {
-				p.initEvent.Cancel()
-				p.initEvent = nil
-			}
+			p.initEvent.Cancel()
 			p.sendInit()
 		}
 	case phy.MsgInitAck:
@@ -565,10 +602,7 @@ func (p *Port) finishInit() {
 	tel := &p.dev.net.tel
 	tel.owd.Observe(float64(d))
 	tel.tr.Record(p.sch().Now(), telemetry.KindSynced, p.tname, d, int64(len(p.initRTTs)), "")
-	if p.initEvent != nil {
-		p.initEvent.Cancel()
-		p.initEvent = nil
-	}
+	p.initEvent.Cancel()
 	// A JOIN that raced ahead of our delay measurement can now apply —
 	// in hardened mode through the same session-initial admission as
 	// any other JOIN, or the race would be a bypass.
@@ -737,27 +771,32 @@ func (p *Port) scheduleWatchdog() {
 	if cfg.BeaconTimeoutIntervals <= 0 {
 		return
 	}
-	if p.watchEvent != nil {
-		p.watchEvent.Cancel()
-	}
+	p.watchEvent.Cancel()
 	period := p.cycleDur(int(cfg.BeaconIntervalTicks) * cfg.BeaconTimeoutIntervals)
-	p.watchEvent = p.sch().After(period, func() {
-		p.watchEvent = nil
-		if p.state != portSynced {
-			return
-		}
-		now := p.sch().Now()
-		if now-p.lastRx >= period {
-			p.demote(demoteBeaconLoss)
-			return
-		}
-		if p.faulty && cfg.FaultyCooldownTicks > 0 &&
-			now-p.faultyAt >= p.dev.tickDur(int(cfg.FaultyCooldownTicks)) {
-			p.demote(demoteFaultyCooldown)
-			return
-		}
-		p.scheduleWatchdog()
-	})
+	// The silence threshold rides in the event payload: it must be the
+	// period as computed when the sweep was armed, not re-derived at
+	// fire time from a possibly-wandered oscillator rate.
+	p.watchEvent = p.sch().AfterActor(period, p, evWatchdog, uint64(period), 0)
+}
+
+// watchdogSweep is the evWatchdog body: demote on peer silence or a
+// stale faulty mark, otherwise re-arm.
+func (p *Port) watchdogSweep(period simTime) {
+	if p.state != portSynced {
+		return
+	}
+	cfg := p.cfg()
+	now := p.sch().Now()
+	if now-p.lastRx >= period {
+		p.demote(demoteBeaconLoss)
+		return
+	}
+	if p.faulty && cfg.FaultyCooldownTicks > 0 &&
+		now-p.faultyAt >= p.dev.tickDur(int(cfg.FaultyCooldownTicks)) {
+		p.demote(demoteFaultyCooldown)
+		return
+	}
+	p.scheduleWatchdog()
 }
 
 // demote drops a SYNCED port back to INIT and re-runs the delay
@@ -781,18 +820,9 @@ func (p *Port) demote(reason int64) {
 	p.violationCount = 0
 	p.initBackoff = 0
 	p.resetAdmission()
-	if p.beaconEvent != nil {
-		p.beaconEvent.Cancel()
-		p.beaconEvent = nil
-	}
-	if p.watchEvent != nil {
-		p.watchEvent.Cancel()
-		p.watchEvent = nil
-	}
-	if p.initEvent != nil {
-		p.initEvent.Cancel()
-		p.initEvent = nil
-	}
+	p.beaconEvent.Cancel()
+	p.watchEvent.Cancel()
+	p.initEvent.Cancel()
 	p.sendInit()
 }
 
@@ -810,7 +840,7 @@ func (p *Port) DroppedDown() uint64 { return p.droppedDown }
 
 // --- Helpers ----------------------------------------------------------
 
-func (p *Port) sch() *sim.Scheduler { return p.dev.net.Sch }
+func (p *Port) sch() *sim.Scheduler { return p.sched }
 func (p *Port) cfg() *Config        { return &p.dev.net.cfg }
 func (p *Port) codec() phy.Codec    { return p.dev.net.codec }
 

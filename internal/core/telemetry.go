@@ -109,9 +109,14 @@ func (n *Network) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		lp[1].tname = lp[1].Name()
 	}
 	if reg != nil {
-		n.Sch.After(telemetryFlushInterval, n.telemetryFlush)
+		n.Sch.AfterActor(telemetryFlushInterval, n, 0, 0, 0)
 	}
 }
+
+// OnEvent makes Network a sim.Actor so the periodic telemetry flush
+// reschedules itself without a per-flush method-value allocation. The
+// flush is the network's only actor event; the opcode is unused.
+func (n *Network) OnEvent(uint8, uint64, uint64) { n.telemetryFlush() }
 
 // telemetryFlush folds the beacon-rate shadow counts into the atomic
 // Registry metrics and reschedules itself. It runs on the scheduler
@@ -139,7 +144,7 @@ func (n *Network) telemetryFlush() {
 		t.droppedDownN = 0
 	}
 	t.offBatch.Flush()
-	n.Sch.After(telemetryFlushInterval, n.telemetryFlush)
+	n.Sch.AfterActor(telemetryFlushInterval, n, 0, 0, 0)
 }
 
 // Tracer returns the attached tracer (nil when uninstrumented).

@@ -155,6 +155,24 @@ func (w *Wire) SendBlock(b phy.Block, deliver func(phy.Block)) {
 	w.sch.After(w.cfg.Delay, func() { deliver(b) })
 }
 
+// SendBlockActor is SendBlock for the zero-alloc beacon hot path: the
+// block rides in the event payload (a = 64 payload bits, b = sync
+// byte) and the receiver is an actor, so no closure is captured. RNG
+// draws are gated on the same probabilities as SendBlock, keeping the
+// per-wire draw sequence byte-identical between the two entry points.
+func (w *Wire) SendBlockActor(b phy.Block, act sim.Actor, code uint8) {
+	w.sent++
+	if w.lossP > 0 && w.rng.Bool(w.lossP) {
+		w.dropped++
+		return
+	}
+	if w.blockErrP > 0 && w.rng.Bool(w.blockErrP) {
+		b = w.flipRandomBit(b)
+		w.corrupted++
+	}
+	w.sch.AfterActor(w.cfg.Delay, act, code, b.Payload, uint64(b.Sync))
+}
+
 // flipRandomBit flips one uniformly random bit of the 66 on the wire:
 // 2 sync bits or 64 payload bits.
 func (w *Wire) flipRandomBit(b phy.Block) phy.Block {

@@ -1,0 +1,239 @@
+package sim
+
+// Calendar-queue discipline (Brown, CACM 1988), adapted for the
+// simulator's workload: a dominant periodic process (beacon intervals)
+// with short event chains hanging off each period, plus a sparse far
+// tail (watchdogs, timeouts).
+//
+// Events hash into buckets by bucket(t) = (t >> shift) & mask — the
+// bucket width is a power of two picoseconds so the hot path divides by
+// shifting. Each bucket holds a chain sorted by (time, seq); with the
+// width tracking the dispatch-gap EWMA, chains stay O(1) and dispatch
+// scans O(1) buckets. Events further than a full bucket rotation ahead
+// ("future years") stay in their bucket and cost one head comparison
+// per scan pass until their year arrives.
+//
+// Determinism: dispatch always returns the global (time, seq) minimum —
+// see the scan invariant on calPopLE — and every sizing input (queue
+// size, dispatch-gap EWMA, dispatch count) is itself a deterministic
+// function of the event sequence. Resizes and width recalibrations can
+// change only the constant factors, never the dispatch order, which the
+// equivalence property test pins against the heap reference discipline.
+
+const (
+	// initialBuckets must be a power of two.
+	initialBuckets = 64
+	// initialShift gives 2^16 ps ≈ 65.5 ns buckets before any dispatch
+	// statistics exist — sized for the dense link bring-up burst.
+	initialShift = 16
+	// minShift / maxShift clamp adaptation: 2^10 ps ≈ 1 ns to
+	// 2^34 ps ≈ 17 ms.
+	minShift = 10
+	maxShift = 34
+	// recalibrateEvery is how often (in dispatches, power of two) the
+	// width is checked against the dispatch-gap EWMA.
+	recalibrateEvery = 1 << 16
+	// minBuckets floors shrinking.
+	minBuckets = 16
+)
+
+func newBuckets(n int) []uint32 {
+	b := make([]uint32, n)
+	for i := range b {
+		b[i] = nilSlot
+	}
+	return b
+}
+
+func (s *Scheduler) bucketOf(t Time) int {
+	return int(uint64(t) >> s.shift & s.mask)
+}
+
+// calInsert links slot idx into its bucket's sorted chain.
+func (s *Scheduler) calInsert(idx uint32) {
+	sl := &s.slots[idx]
+	b := s.bucketOf(sl.at)
+	head := s.buckets[b]
+	if head == nilSlot || s.slotLess(idx, head) {
+		sl.next = head
+		s.buckets[b] = idx
+		return
+	}
+	cur := head
+	for {
+		nxt := s.slots[cur].next
+		if nxt == nilSlot || s.slotLess(idx, nxt) {
+			sl.next = nxt
+			s.slots[cur].next = idx
+			return
+		}
+		cur = nxt
+	}
+}
+
+// calUnlink removes slot idx from its bucket chain (Cancel path). The
+// walk is bounded by the chain length, which the width adaptation keeps
+// O(1).
+func (s *Scheduler) calUnlink(idx uint32) {
+	b := s.bucketOf(s.slots[idx].at)
+	cur := s.buckets[b]
+	if cur == idx {
+		s.buckets[b] = s.slots[idx].next
+		return
+	}
+	for {
+		nxt := s.slots[cur].next
+		if nxt == idx {
+			s.slots[cur].next = s.slots[idx].next
+			return
+		}
+		cur = nxt
+	}
+}
+
+// calPopLE unlinks and returns the earliest pending slot if its time is
+// at or before `until`.
+//
+// Scan invariant: walking buckets in rotation order from bucket(now),
+// the first chain head whose time falls inside the bucket's current
+// year window is the global (time, seq) minimum. Proof sketch: every
+// pending event has at >= now (At panics otherwise, and dispatch always
+// removes the minimum). Suppose head h of the k-th scanned bucket has
+// h.at < top_k = (now>>shift + k + 1) << shift, and some pending e has
+// e.at < h.at. Then e's bucket index lies j <= k buckets ahead of
+// bucket(now); if j < k, pass j inspected that bucket's head — which
+// sorts at or before e, hence inside window j — and would have returned
+// it; if j == k, e is in h's bucket and the chain ordering makes h sort
+// first. Same-time events always share a bucket, so the (time, seq)
+// tie-break never crosses buckets.
+//
+// If a full rotation finds nothing (every pending event is beyond one
+// rotation's span — the sparse/idle regime), fall back to a direct
+// min scan over the chain heads.
+func (s *Scheduler) calPopLE(until Time) (uint32, bool) {
+	if s.size == 0 {
+		return 0, false
+	}
+	n := len(s.buckets)
+	start := uint64(s.now) >> s.shift
+	for k := 0; k < n; k++ {
+		b := int((start + uint64(k)) & s.mask)
+		h := s.buckets[b]
+		if h == nilSlot {
+			continue
+		}
+		if s.slots[h].at < Time((start+uint64(k)+1)<<s.shift) {
+			if s.slots[h].at > until {
+				return 0, false
+			}
+			s.buckets[b] = s.slots[h].next
+			return h, true
+		}
+	}
+	best := nilSlot
+	bb := 0
+	for b, h := range s.buckets {
+		if h == nilSlot {
+			continue
+		}
+		if best == nilSlot || s.slotLess(h, best) {
+			best, bb = h, b
+		}
+	}
+	if s.slots[best].at > until {
+		return 0, false
+	}
+	s.buckets[bb] = s.slots[best].next
+	return best, true
+}
+
+// targetShift derives the bucket-width exponent from the dispatch-gap
+// EWMA: about 4x the mean gap, so consecutive dispatches advance at
+// most a bucket and chains stay short. spanFallback covers the cold
+// start (nothing dispatched yet): spread the current queue span so
+// chains average O(1).
+func (s *Scheduler) targetShift(spanFallback Time, size int) uint {
+	g := s.gapEWMA
+	if g <= 0 {
+		if size > 0 {
+			g = spanFallback / Time(size)
+		}
+		if g <= 0 {
+			g = 1
+		}
+	}
+	w := uint64(g) * 4
+	sh := uint(minShift)
+	for sh < maxShift && uint64(1)<<sh < w {
+		sh++
+	}
+	return sh
+}
+
+// rebuild resizes to n buckets (power of two), recomputes the width,
+// and re-hashes every pending slot. Sorted insertion is order-
+// independent, so a rebuild never changes dispatch order.
+func (s *Scheduler) rebuild(n int) {
+	if n < minBuckets {
+		n = minBuckets
+	}
+	s.scratch = s.scratch[:0]
+	var lo, hi Time
+	first := true
+	for _, h := range s.buckets {
+		for h != nilSlot {
+			s.scratch = append(s.scratch, h)
+			at := s.slots[h].at
+			if first {
+				lo, hi = at, at
+				first = false
+			} else {
+				if at < lo {
+					lo = at
+				}
+				if at > hi {
+					hi = at
+				}
+			}
+			h = s.slots[h].next
+		}
+	}
+	s.shift = s.targetShift(hi-lo, len(s.scratch))
+	if n <= cap(s.buckets) && n <= len(s.buckets) {
+		s.buckets = s.buckets[:n]
+		for i := range s.buckets {
+			s.buckets[i] = nilSlot
+		}
+	} else {
+		s.buckets = newBuckets(n)
+	}
+	s.mask = uint64(n - 1)
+	for _, idx := range s.scratch {
+		s.calInsert(idx)
+	}
+}
+
+// maybeShrink halves the bucket array when the queue has emptied out
+// (Cancel/dispatch path), keeping sparse-regime scans proportional to
+// the queue size.
+func (s *Scheduler) maybeShrink() {
+	if s.heapMode {
+		return
+	}
+	if n := len(s.buckets); n > minBuckets && s.size < n/8 {
+		s.rebuild(n / 2)
+	}
+}
+
+// maybeRecalibrate rebuilds at the current size when the width has
+// drifted more than 4x from the dispatch-gap target — the workload's
+// cadence changed (e.g. bring-up burst settling into steady beaconing).
+func (s *Scheduler) maybeRecalibrate() {
+	t := s.targetShift(0, 0)
+	if s.gapEWMA <= 0 {
+		return
+	}
+	if t > s.shift+2 || t+2 < s.shift {
+		s.rebuild(len(s.buckets))
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The calendar queue and the heap reference must produce identical
+// dispatch orders for any workload: both implement the total order
+// (time, seq). The tests below drive both disciplines with mirrored
+// randomized workloads — schedules, same-timestamp bursts, cancels,
+// re-schedules, nested scheduling from callbacks — across multiple Run
+// horizons whose spans force bucket-rotation wraparound, and require
+// the (time, id) dispatch logs to match exactly.
+
+type eqRecord struct {
+	at Time
+	id int
+}
+
+// eqWorker drives one scheduler with a deterministic self-similar
+// workload: every callback logs itself, then draws from the worker's
+// own RNG stream to decide whether to schedule children, burst
+// same-time siblings, or cancel a random live handle. Two workers with
+// the same seed stay in lockstep exactly as long as their schedulers
+// dispatch in the same order — any divergence cascades into the logs.
+type eqWorker struct {
+	s      *Scheduler
+	rng    *RNG
+	log    []eqRecord
+	live   []Event
+	nextID int
+	budget int
+}
+
+func (w *eqWorker) spawn(at Time, id int) {
+	e := w.s.At(at, func() { w.fire(at, id) })
+	w.live = append(w.live, e)
+}
+
+func (w *eqWorker) fire(at Time, id int) {
+	w.log = append(w.log, eqRecord{at: w.s.Now(), id: id})
+	if w.budget <= 0 {
+		return
+	}
+	switch w.rng.IntN(5) {
+	case 0: // burst: several children at one future instant (FIFO order)
+		t := w.s.Now() + w.rng.UniformTime(0, 50*Microsecond)
+		n := 2 + w.rng.IntN(3)
+		for i := 0; i < n; i++ {
+			w.budget--
+			w.nextID++
+			w.spawn(t, w.nextID)
+		}
+	case 1: // far child: beyond one bucket rotation (future year)
+		w.budget--
+		w.nextID++
+		w.spawn(w.s.Now()+w.rng.UniformTime(10*Millisecond, 80*Millisecond), w.nextID)
+	case 2: // cancel a random live handle, then replace it
+		if len(w.live) > 0 {
+			i := w.rng.IntN(len(w.live))
+			if w.live[i].Cancel() {
+				w.budget--
+				w.nextID++
+				w.spawn(w.s.Now()+w.rng.UniformTime(0, Millisecond), w.nextID)
+			}
+			w.live = append(w.live[:i], w.live[i+1:]...)
+		}
+	case 3: // immediate child at the current instant
+		w.budget--
+		w.nextID++
+		w.spawn(w.s.Now(), w.nextID)
+	default: // near child
+		w.budget--
+		w.nextID++
+		w.spawn(w.s.Now()+w.rng.UniformTime(0, 200*Microsecond), w.nextID)
+	}
+}
+
+func runEquivalenceSeed(t *testing.T, seed uint64) {
+	t.Helper()
+	mk := func(s *Scheduler) *eqWorker {
+		w := &eqWorker{s: s, rng: NewRNG(seed, "eq"), budget: 4000}
+		for i := 0; i < 200; i++ {
+			w.nextID++
+			w.spawn(w.rng.UniformTime(0, 2*Millisecond), w.nextID)
+		}
+		return w
+	}
+	cal := mk(NewScheduler())
+	heap := mk(NewHeapScheduler())
+	// Advance both in uneven horizon chunks so events straddle Run
+	// boundaries; the chunk sizes exercise both dense scans and the
+	// sparse year-skip fallback.
+	for _, h := range []Time{Millisecond, 3 * Millisecond, 40 * Millisecond, 200 * Millisecond, Second} {
+		cal.s.Run(h)
+		heap.s.Run(h)
+		if cal.s.Pending() != heap.s.Pending() {
+			t.Fatalf("seed %d: pending diverged at horizon %v: calendar %d, heap %d",
+				seed, h, cal.s.Pending(), heap.s.Pending())
+		}
+	}
+	cal.s.Drain()
+	heap.s.Drain()
+	if len(cal.log) != len(heap.log) {
+		t.Fatalf("seed %d: dispatched %d events on calendar, %d on heap",
+			seed, len(cal.log), len(heap.log))
+	}
+	for i := range cal.log {
+		if cal.log[i] != heap.log[i] {
+			t.Fatalf("seed %d: dispatch %d diverged: calendar (%v, id %d), heap (%v, id %d)",
+				seed, i, cal.log[i].at, cal.log[i].id, heap.log[i].at, heap.log[i].id)
+		}
+	}
+	if cal.s.Processed() != heap.s.Processed() {
+		t.Fatalf("seed %d: processed counts diverged: %d vs %d",
+			seed, cal.s.Processed(), heap.s.Processed())
+	}
+}
+
+func TestCalendarHeapEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runEquivalenceSeed(t, seed)
+		})
+	}
+}
+
+// The periodic regime that dominates real runs: many actors on skewed
+// periods, repeatedly crossing bucket-rotation boundaries and width
+// recalibrations. Both disciplines must agree on every dispatch.
+func TestCalendarHeapEquivalencePeriodic(t *testing.T) {
+	type tick struct {
+		s      *Scheduler
+		log    *[]eqRecord
+		id     int
+		period Time
+		left   int
+	}
+	var mkAll func(s *Scheduler, log *[]eqRecord)
+	var ticks []*tick
+	mkAll = func(s *Scheduler, log *[]eqRecord) {
+		for i := 0; i < 64; i++ {
+			tk := &tick{s: s, log: log, id: i, period: Microsecond + Time(i)*137*Nanosecond, left: 300}
+			ticks = append(ticks, tk)
+			var fire func()
+			fire = func() {
+				*tk.log = append(*tk.log, eqRecord{at: tk.s.Now(), id: tk.id})
+				if tk.left > 0 {
+					tk.left--
+					tk.s.After(tk.period, fire)
+				}
+			}
+			s.At(Time(i)*Nanosecond, fire)
+		}
+	}
+	var calLog, heapLog []eqRecord
+	cal, heap := NewScheduler(), NewHeapScheduler()
+	mkAll(cal, &calLog)
+	mkAll(heap, &heapLog)
+	cal.Drain()
+	heap.Drain()
+	if len(calLog) != len(heapLog) {
+		t.Fatalf("dispatched %d vs %d events", len(calLog), len(heapLog))
+	}
+	for i := range calLog {
+		if calLog[i] != heapLog[i] {
+			t.Fatalf("dispatch %d diverged: calendar (%v, %d), heap (%v, %d)",
+				i, calLog[i].at, calLog[i].id, heapLog[i].at, heapLog[i].id)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+// Binary-heap reference discipline over pooled slot indices: the seed
+// engine's data structure (O(log n) sift per operation, index swaps on
+// every level) kept behind NewHeapScheduler for the dispatch-order
+// equivalence property test and the BENCH_8 speedup trajectory. Slot
+// .pos tracks each pending event's heap position so Cancel can remove
+// from the middle.
+
+func (s *Scheduler) heapPush(idx uint32) {
+	s.heap = append(s.heap, idx)
+	s.slots[idx].pos = uint32(len(s.heap) - 1)
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *Scheduler) heapPopLE(until Time) (uint32, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	top := s.heap[0]
+	if s.slots[top].at > until {
+		return 0, false
+	}
+	s.heapSwap(0, len(s.heap)-1)
+	s.heap = s.heap[:len(s.heap)-1]
+	if len(s.heap) > 0 {
+		s.heapDown(0)
+	}
+	return top, true
+}
+
+// heapRemove deletes the pending slot idx from the middle of the heap
+// (Cancel path).
+func (s *Scheduler) heapRemove(idx uint32) {
+	i := int(s.slots[idx].pos)
+	last := len(s.heap) - 1
+	if i != last {
+		s.heapSwap(i, last)
+	}
+	s.heap = s.heap[:last]
+	if i < last {
+		if !s.heapDownFrom(i) {
+			s.heapUp(i)
+		}
+	}
+}
+
+func (s *Scheduler) heapSwap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.slots[s.heap[i]].pos = uint32(i)
+	s.slots[s.heap[j]].pos = uint32(j)
+}
+
+func (s *Scheduler) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.slotLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Scheduler) heapDown(i int) { s.heapDownFrom(i) }
+
+// heapDownFrom sifts i down, reporting whether it moved.
+func (s *Scheduler) heapDownFrom(i int) bool {
+	moved := false
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && s.slotLess(s.heap[r], s.heap[l]) {
+			small = r
+		}
+		if !s.slotLess(s.heap[small], s.heap[i]) {
+			break
+		}
+		s.heapSwap(i, small)
+		i = small
+		moved = true
+	}
+	return moved
+}

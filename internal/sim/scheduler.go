@@ -1,88 +1,150 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are single-shot; cancelling an
-// event that already fired is a no-op.
-type Event struct {
-	at    Time
-	seq   uint64 // tie-breaker: FIFO among events with equal timestamps
-	index int    // heap index, -1 once fired or cancelled
-	fn    func()
-	q     *eventQueue
+// Actor is the allocation-free event target. Instead of capturing state
+// in a closure (one heap allocation per schedule), a long-lived object —
+// a port, a device, a wire endpoint — implements OnEvent and dispatches
+// on a small opcode, with two uint64 arguments carrying the payload
+// (a 64-bit PCS block, a counter slot, a message body). Storing a
+// pointer-typed Actor in an event slot does not allocate, which is what
+// makes the steady-state simulation loop zero-alloc.
+type Actor interface {
+	OnEvent(code uint8, a, b uint64)
 }
 
-// At returns the simulated time the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
+// nilSlot terminates slot chains (bucket lists, the free list).
+const nilSlot = ^uint32(0)
 
-// Cancel removes the event from the scheduler. Returns false if the event
-// already fired or was already cancelled.
-func (e *Event) Cancel() bool {
-	if e.index < 0 {
+// eventSlot is one pooled event. Slots live in Scheduler.slots and are
+// addressed by index; cancelled and fired slots are cleared (callback
+// references dropped so the GC can reclaim captured state) and recycled
+// through the free list. gen increments on every recycle so stale Event
+// handles can never touch a reused slot.
+type eventSlot struct {
+	at      Time
+	seq     uint64 // tie-breaker: FIFO among events with equal timestamps
+	a, b    uint64
+	fn      func()
+	actor   Actor
+	next    uint32 // bucket chain (calendar), free-list link
+	pos     uint32 // heap position (heap discipline only)
+	gen     uint32
+	code    uint8
+	pending bool
+}
+
+// Event is a value handle to a scheduled callback. Events are
+// single-shot; cancelling an event that already fired (or was already
+// cancelled) is a no-op returning false, even if the underlying pooled
+// slot has since been recycled for a different event — handles carry the
+// slot generation, so a stale handle can never cancel a stranger. The
+// zero Event is inert: Cancel reports false, Pending reports false.
+type Event struct {
+	s    *Scheduler
+	slot uint32
+	gen  uint32
+}
+
+// Pending reports whether the event is still scheduled (not yet fired
+// and not cancelled).
+func (e Event) Pending() bool {
+	return e.s != nil && e.s.slots[e.slot].gen == e.gen && e.s.slots[e.slot].pending
+}
+
+// At returns the simulated time the event is scheduled for, or 0 if the
+// event already fired, was cancelled, or is the zero Event.
+func (e Event) At() Time {
+	if !e.Pending() {
+		return 0
+	}
+	return e.s.slots[e.slot].at
+}
+
+// Cancel removes the event from the scheduler, clears its callback
+// references, and recycles its slot immediately — a cancelled event
+// retains nothing. Returns false if the event already fired or was
+// already cancelled.
+func (e Event) Cancel() bool {
+	s := e.s
+	if s == nil {
 		return false
 	}
-	heap.Remove(e.owner(), e.index)
-	e.index = -1
-	e.fn = nil
+	sl := &s.slots[e.slot]
+	if sl.gen != e.gen || !sl.pending {
+		return false
+	}
+	if s.heapMode {
+		s.heapRemove(e.slot)
+	} else {
+		s.calUnlink(e.slot)
+	}
+	s.size--
+	s.release(e.slot)
+	s.maybeShrink()
 	return true
 }
 
-// owner is stashed on the queue slice header via a back-pointer set at push
-// time; storing it per event keeps Cancel O(log n) without a scheduler arg.
-func (e *Event) owner() *eventQueue { return e.q }
-
-type eventQueue struct {
-	events []*Event
-}
-
-func (q *eventQueue) Len() int { return len(q.events) }
-func (q *eventQueue) Less(i, j int) bool {
-	a, b := q.events[i], q.events[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-func (q *eventQueue) Swap(i, j int) {
-	q.events[i], q.events[j] = q.events[j], q.events[i]
-	q.events[i].index = i
-	q.events[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(q.events)
-	q.events = append(q.events, e)
-}
-func (q *eventQueue) Pop() any {
-	old := q.events
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	q.events = old[:n-1]
-	return e
-}
-
-// Scheduler is a deterministic discrete-event scheduler. It is not safe for
-// concurrent use; simulations are single-goroutine by design so that a seed
-// fully determines a run.
+// Scheduler is a deterministic discrete-event scheduler. It is not safe
+// for concurrent use; simulations are single-goroutine by design so that
+// a seed fully determines a run.
+//
+// Two queue disciplines share the same pooled-slot machinery and produce
+// byte-identical dispatch orders (total order by (time, seq)):
+//
+//   - NewScheduler: a calendar queue (Brown 1988) — events hash into
+//     power-of-two-width time buckets holding short sorted chains, giving
+//     O(1) amortized schedule/dispatch with no pointer swapping, sized
+//     and recalibrated deterministically from the dispatch-gap EWMA.
+//   - NewHeapScheduler: a binary heap over slot indices — the reference
+//     discipline, kept for equivalence tests and benchmark baselines.
 type Scheduler struct {
-	queue eventQueue
-	now   Time
-	seq   uint64
+	now  Time
+	seq  uint64
+	size int
 
 	// processed counts events dispatched since construction, for reporting.
 	processed uint64
 	// highWater is the largest queue depth ever reached, for reporting.
 	highWater int
+
+	// Pooled event storage. free heads the recycle list through .next.
+	slots []eventSlot
+	free  uint32
+
+	// Queue discipline: calendar buckets by default, binary heap when
+	// heapMode is set.
+	heapMode bool
+	heap     []uint32
+
+	// Calendar queue state: len(buckets) is a power of two, bucket width
+	// is 1<<shift picoseconds, bucket(t) = (t>>shift)&mask.
+	buckets []uint32
+	shift   uint
+	mask    uint64
+
+	// Deterministic width statistics: an EWMA of gaps between dispatched
+	// event timestamps. Depends only on the dispatch sequence, so resizes
+	// and recalibrations can never perturb determinism.
+	lastAt  Time
+	gapEWMA Time
+
+	scratch []uint32 // rebuild buffer
 }
 
-// NewScheduler returns an empty scheduler at time zero.
+// NewScheduler returns an empty calendar-queue scheduler at time zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	s := &Scheduler{free: nilSlot, shift: initialShift}
+	s.buckets = newBuckets(initialBuckets)
+	s.mask = initialBuckets - 1
+	return s
+}
+
+// NewHeapScheduler returns an empty scheduler using the binary-heap
+// reference discipline. Dispatch order is identical to NewScheduler's;
+// only the per-operation cost differs (O(log n) with index swaps).
+func NewHeapScheduler() *Scheduler {
+	return &Scheduler{free: nilSlot, heapMode: true}
 }
 
 // Now returns the current simulated time.
@@ -92,62 +154,162 @@ func (s *Scheduler) Now() Time { return s.now }
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently scheduled.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return s.size }
 
 // HighWaterPending returns the largest queue depth ever reached.
 func (s *Scheduler) HighWaterPending() int { return s.highWater }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a modelling bug, and silently reordering time would
-// corrupt every downstream measurement.
-func (s *Scheduler) At(t Time, fn func()) *Event {
+// alloc pops a recycled slot or grows the arena. Steady-state loops
+// reuse slots and never grow, which is what AllocsPerRun == 0 pins.
+func (s *Scheduler) alloc() uint32 {
+	if s.free != nilSlot {
+		idx := s.free
+		s.free = s.slots[idx].next
+		return idx
+	}
+	s.slots = append(s.slots, eventSlot{})
+	return uint32(len(s.slots) - 1)
+}
+
+// release clears a fired or cancelled slot and pushes it on the free
+// list. Dropping fn/actor here is load-bearing twice over: the GC can
+// reclaim captured state immediately, and the bumped generation
+// invalidates every outstanding handle to the old event.
+func (s *Scheduler) release(idx uint32) {
+	sl := &s.slots[idx]
+	sl.fn = nil
+	sl.actor = nil
+	sl.pending = false
+	sl.gen++
+	sl.next = s.free
+	s.free = idx
+}
+
+func (s *Scheduler) schedule(t Time, fn func(), act Actor, code uint8, a, b uint64) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
+	idx := s.alloc()
+	sl := &s.slots[idx]
+	sl.at = t
+	sl.seq = s.seq
+	s.seq++
+	sl.fn = fn
+	sl.actor = act
+	sl.code = code
+	sl.a, sl.b = a, b
+	sl.pending = true
+	if s.heapMode {
+		s.heapPush(idx)
+	} else {
+		s.calInsert(idx)
+	}
+	s.size++
+	if s.size > s.highWater {
+		s.highWater = s.size
+	}
+	if !s.heapMode && s.size > 2*len(s.buckets) {
+		s.rebuild(2 * len(s.buckets))
+	}
+	return Event{s: s, slot: idx, gen: sl.gen}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a modelling bug, and silently reordering
+// time would corrupt every downstream measurement.
+func (s *Scheduler) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, q: &s.queue}
-	s.seq++
-	heap.Push(&s.queue, e)
-	if s.queue.Len() > s.highWater {
-		s.highWater = s.queue.Len()
-	}
-	return e
+	return s.schedule(t, fn, nil, 0, 0, 0)
 }
 
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Time, fn func()) *Event {
+func (s *Scheduler) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
+// AtActor schedules act.OnEvent(code, a, b) at absolute time t without
+// allocating: the opcode and arguments live in the pooled slot.
+func (s *Scheduler) AtActor(t Time, act Actor, code uint8, a, b uint64) Event {
+	if act == nil {
+		panic("sim: nil event actor")
+	}
+	return s.schedule(t, nil, act, code, a, b)
+}
+
+// AfterActor schedules act.OnEvent(code, a, b) to run d after the
+// current time. See AtActor.
+func (s *Scheduler) AfterActor(d Time, act Actor, code uint8, a, b uint64) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.AtActor(s.now+d, act, code, a, b)
+}
+
+// dispatch fires slot idx: advances the clock, recycles the slot, then
+// invokes the callback. The slot is released before the call so a
+// callback rescheduling immediately (the common periodic pattern) reuses
+// it, and so the fired event's own handle is already stale inside the
+// callback.
+func (s *Scheduler) dispatch(idx uint32) {
+	sl := &s.slots[idx]
+	s.now = sl.at
+	fn, act, code, a, b := sl.fn, sl.actor, sl.code, sl.a, sl.b
+	gap := sl.at - s.lastAt
+	s.lastAt = sl.at
+	s.gapEWMA += (gap - s.gapEWMA) >> 3
+	s.size--
+	s.release(idx)
+	s.processed++
+	if !s.heapMode && s.processed&(recalibrateEvery-1) == 0 {
+		s.maybeRecalibrate()
+	}
+	if act != nil {
+		act.OnEvent(code, a, b)
+	} else {
+		fn()
+	}
+}
+
+// popLE removes and returns the earliest pending slot if its time is at
+// or before `until`.
+func (s *Scheduler) popLE(until Time) (uint32, bool) {
+	if s.heapMode {
+		return s.heapPopLE(until)
+	}
+	return s.calPopLE(until)
+}
+
+const maxTime = Time(1<<63 - 1)
+
 // Step dispatches the single earliest event. It returns false when the
 // queue is empty.
 func (s *Scheduler) Step() bool {
-	if s.queue.Len() == 0 {
+	idx, ok := s.popLE(maxTime)
+	if !ok {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.at
-	fn := e.fn
-	e.fn = nil
-	s.processed++
-	fn()
+	s.dispatch(idx)
 	return true
 }
 
-// Run dispatches events until no event at or before `until` remains, then
-// advances the clock to exactly `until`. Events scheduled during the run
-// are honoured if they fall within the horizon.
+// Run dispatches events until no event at or before `until` remains,
+// then advances the clock to exactly `until`. Events scheduled during
+// the run are honoured if they fall within the horizon.
 func (s *Scheduler) Run(until Time) {
 	if until < s.now {
 		panic(fmt.Sprintf("sim: Run(%v) before now %v", until, s.now))
 	}
-	for s.queue.Len() > 0 && s.queue.events[0].at <= until {
-		s.Step()
+	for {
+		idx, ok := s.popLE(until)
+		if !ok {
+			break
+		}
+		s.dispatch(idx)
 	}
 	s.now = until
 }
@@ -155,9 +317,19 @@ func (s *Scheduler) Run(until Time) {
 // RunFor advances the simulation by d. See Run.
 func (s *Scheduler) RunFor(d Time) { s.Run(s.now + d) }
 
-// Drain dispatches every remaining event regardless of timestamp. Intended
-// for tests; production experiments always run to a horizon.
+// Drain dispatches every remaining event regardless of timestamp.
+// Intended for tests; production experiments always run to a horizon.
 func (s *Scheduler) Drain() {
 	for s.Step() {
 	}
+}
+
+// slotLess orders slots by (time, seq): the total dispatch order both
+// queue disciplines implement.
+func (s *Scheduler) slotLess(i, j uint32) bool {
+	a, b := &s.slots[i], &s.slots[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }

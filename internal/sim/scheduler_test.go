@@ -104,7 +104,7 @@ func TestSchedulerCancelAfterFire(t *testing.T) {
 func TestSchedulerCancelMiddleOfHeap(t *testing.T) {
 	s := NewScheduler()
 	var got []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 50; i++ {
 		i := i
 		events = append(events, s.At(Time(i)*Nanosecond, func() { got = append(got, i) }))

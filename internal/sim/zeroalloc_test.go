@@ -1,0 +1,134 @@
+package sim
+
+import "testing"
+
+// The steady-state guarantees the calendar queue exists to provide:
+// once the slot arena and bucket array have grown to the workload's
+// high-water mark, periodic actor workloads — including cancel-heavy
+// ones — schedule, cancel, and dispatch without a single heap
+// allocation.
+
+// periodicActor models the dominant simulation pattern: a self-
+// rescheduling periodic source (a port's beacon timer).
+type periodicActor struct {
+	s      *Scheduler
+	period Time
+	fired  uint64
+}
+
+func (a *periodicActor) OnEvent(code uint8, _, _ uint64) {
+	a.fired++
+	a.s.AfterActor(a.period, a, code, 0, 0)
+}
+
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	s := NewScheduler()
+	actors := make([]*periodicActor, 64)
+	for i := range actors {
+		actors[i] = &periodicActor{s: s, period: Microsecond + Time(i)*97*Nanosecond}
+		s.AtActor(Time(i)*Nanosecond, actors[i], 0, 0, 0)
+	}
+	// Warm up: grow the arena and buckets to steady state.
+	s.RunFor(10 * Millisecond)
+	avg := testing.AllocsPerRun(50, func() {
+		s.RunFor(Millisecond)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state periodic loop allocates %.1f per millisecond, want 0", avg)
+	}
+}
+
+// watchdogActor reproduces the cancel-heavy pattern: every firing
+// cancels a previously armed timeout and re-arms it further out (a
+// beacon-loss watchdog being pushed by traffic). The cancelled event
+// must be recycled immediately — if cancelled slots stayed linked (the
+// old Event.Cancel retention bug) the arena would grow without bound
+// and AllocsPerRun would observe the growth.
+type watchdogActor struct {
+	s       *Scheduler
+	period  Time
+	timeout Event
+}
+
+func (a *watchdogActor) OnEvent(code uint8, _, _ uint64) {
+	if code == 1 {
+		return // timeout fired: nothing to do in this model
+	}
+	a.timeout.Cancel()
+	a.timeout = a.s.AfterActor(50*a.period, a, 1, 0, 0)
+	a.s.AfterActor(a.period, a, 0, 0, 0)
+}
+
+func TestCancelHeavyZeroAlloc(t *testing.T) {
+	s := NewScheduler()
+	actors := make([]*watchdogActor, 64)
+	for i := range actors {
+		actors[i] = &watchdogActor{s: s, period: Microsecond + Time(i)*131*Nanosecond}
+		s.AtActor(Time(i)*Nanosecond, actors[i], 0, 0, 0)
+	}
+	s.RunFor(10 * Millisecond)
+	arena := len(s.slots)
+	avg := testing.AllocsPerRun(50, func() {
+		s.RunFor(Millisecond)
+	})
+	if avg != 0 {
+		t.Fatalf("cancel-heavy loop allocates %.1f per millisecond, want 0", avg)
+	}
+	if grown := len(s.slots) - arena; grown > 0 {
+		t.Fatalf("arena grew by %d slots after warmup: cancelled events are not being recycled", grown)
+	}
+}
+
+// A cancelled event must retain nothing: its slot is immediately
+// recyclable and its callback references are dropped.
+func TestCancelRecyclesImmediately(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(Second, func() { t.Fatal("cancelled event fired") })
+	if !e.Cancel() {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Pending() {
+		t.Fatal("cancelled event still Pending")
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after cancel, want 0", got)
+	}
+	// The freed slot must be reused by the very next schedule.
+	before := len(s.slots)
+	e2 := s.At(2*Second, func() {})
+	if len(s.slots) != before {
+		t.Fatalf("arena grew from %d to %d slots: cancelled slot not recycled", before, len(s.slots))
+	}
+	// The stale handle must not be able to touch the recycled slot.
+	if e.Cancel() {
+		t.Fatal("stale handle cancelled a recycled slot (ABA)")
+	}
+	if !e2.Pending() {
+		t.Fatal("recycled event lost by stale-handle interference")
+	}
+	if e2.At() != 2*Second {
+		t.Fatalf("recycled event At() = %v, want 2s", e2.At())
+	}
+}
+
+func BenchmarkCalendarThroughput(b *testing.B) {
+	benchThroughput(b, NewScheduler())
+}
+
+func BenchmarkHeapRefThroughput(b *testing.B) {
+	benchThroughput(b, NewHeapScheduler())
+}
+
+func benchThroughput(b *testing.B, s *Scheduler) {
+	actors := make([]*periodicActor, 256)
+	for i := range actors {
+		actors[i] = &periodicActor{s: s, period: Microsecond + Time(i)*53*Nanosecond}
+		s.AtActor(Time(i)*Nanosecond, actors[i], 0, 0, 0)
+	}
+	s.RunFor(Millisecond)
+	b.ResetTimer()
+	start := s.Processed()
+	for s.Processed()-start < uint64(b.N) {
+		s.RunFor(100 * Microsecond)
+	}
+}

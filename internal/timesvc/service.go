@@ -136,7 +136,7 @@ type Service struct {
 	// publish tick) so Attribution() works even without a Registry.
 	attr attrState
 
-	event   *sim.Event
+	event   sim.Event
 	stopped bool
 
 	tr         *telemetry.Tracer
@@ -199,10 +199,7 @@ func (s *Service) Start() {
 // ages out.
 func (s *Service) Stop() {
 	s.stopped = true
-	if s.event != nil {
-		s.event.Cancel()
-		s.event = nil
-	}
+	s.event.Cancel()
 }
 
 // Host returns the served host's device name.

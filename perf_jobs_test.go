@@ -1,0 +1,87 @@
+package dtp_test
+
+// Campaign -jobs scaling for BENCH_8.json. This lives in the external
+// test package because it drives internal/campaign, which imports the
+// root package — but it runs in the same test binary as
+// BenchmarkEngineFattree8, after it (benchmarks execute in file/name
+// order), so it can fold its measurements into the BENCH8_OUT record
+// the engine benchmark wrote.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/dtplab/dtp/internal/campaign"
+)
+
+// BenchmarkCampaignJobsScaling measures how campaign wall time scales
+// with -jobs width on a fixed 8-run fattree:4 seed sweep. Requires
+// BENCH8_FULL=1 (the sweep is seconds of work per width) and at least
+// 2 CPUs (scaling on one core is noise). When BENCH8_OUT names the
+// record written by BenchmarkEngineFattree8, the jobs_scaling map is
+// merged into it.
+func BenchmarkCampaignJobsScaling(b *testing.B) {
+	if os.Getenv("BENCH8_FULL") == "" {
+		b.Skip("jobs scaling runs under BENCH8_FULL=1 only")
+	}
+	if runtime.NumCPU() < 2 {
+		b.Skip("jobs scaling needs >= 2 CPUs")
+	}
+	g := campaign.Grid{
+		Name:      "bench8-jobs",
+		Topos:     []string{"fattree:4"},
+		Seeds:     campaign.SeedSweep(1, 8),
+		Durations: []campaign.Duration{campaign.Duration(2 * time.Millisecond)},
+	}
+	scaling := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, jobs := range []int{1, 2, 4, 8} {
+			if jobs > runtime.NumCPU() {
+				break
+			}
+			rep, err := campaign.Run(g, campaign.Options{Jobs: jobs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.OK() {
+				b.Fatalf("jobs=%d: campaign failed: %+v", jobs, rep.Aggregate)
+			}
+			scaling[fmt.Sprint(jobs)] = rep.Wall.Seconds()
+		}
+	}
+	if w1, ok := scaling["1"]; ok {
+		for _, jobs := range []string{"2", "4", "8"} {
+			if w, ok := scaling[jobs]; ok && w > 0 {
+				b.ReportMetric(w1/w, "speedup_jobs_"+jobs)
+			}
+		}
+	}
+	if out := os.Getenv("BENCH8_OUT"); out != "" {
+		if err := mergeJobsScaling(out, scaling); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mergeJobsScaling rewrites the BENCH_8.json record with the
+// jobs_scaling map filled in, preserving every other field.
+func mergeJobsScaling(path string, scaling map[string]float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("BENCH8_OUT record not found (run BenchmarkEngineFattree8 first): %w", err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return err
+	}
+	rec["jobs_scaling"] = scaling
+	buf, err = json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

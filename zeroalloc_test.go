@@ -1,0 +1,46 @@
+package dtp
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The tentpole acceptance criterion, measured at the system level: once
+// every link is synced and the scheduler's arena has reached its
+// high-water mark, the steady-state beacon loop — beacon fire, TX
+// insertion, wire transit, RX pipeline, CDC alignment, message
+// processing, counter jumps, watchdog churn — runs without a single
+// heap allocation. Wander is disabled (its resampling closure is an
+// intentional cold-path allocation) and telemetry is unattached, as in
+// the BENCH_8 engine configuration.
+func TestSteadyStateBeaconLoopZeroAlloc(t *testing.T) {
+	g, err := ParseTopology("fattree:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(g, WithSeed(1), WithBeaconInterval(60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Start()
+	if err := sys.RunUntilSynced(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past INIT residue: arena growth, watchdog arming, the
+	// first few beacon rounds.
+	sys.Run(100 * time.Millisecond)
+
+	// AllocsPerRun pins to one OS thread and counts mallocs directly;
+	// GC percent is irrelevant, but keep the loop comfortably long so
+	// hundreds of beacon rounds (and their cancel-heavy watchdog
+	// re-arms) are inside the measured window.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	avg := testing.AllocsPerRun(10, func() {
+		sys.Run(10 * time.Millisecond)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state beacon loop allocates %.1f times per 10 ms window, want 0", avg)
+	}
+}
