@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench bench-save bench-engine experiments examples audit chaos campaign byzantine serve-bench flight attr-bench
+.PHONY: all build vet test test-short test-race bench bench-save bench-engine experiments examples audit chaos campaign byzantine disciplines serve-bench flight attr-bench
 
 all: build vet test
 
@@ -79,6 +79,15 @@ byzantine:
 	go test -race -count=1 -run 'Harden|Admit|Quarantine|Liar|Byzantine' ./internal/core ./internal/chaos ./internal/campaign
 	! go run ./cmd/dtpsim -topo tree -chaos examples/chaos/liar.json -duration 160ms > /dev/null
 	go run ./cmd/dtpsim -topo tree -chaos examples/chaos/liar.json -duration 160ms -hardened > /dev/null
+
+# Clock-discipline lab: the estimator and daemon tests under the race
+# detector (golden convergence, restart-reset regression, campaign
+# discipline-axis determinism), then the dtpexp comparison table — all
+# four estimators under clean / pcie-jitter / osc-wander noise.
+disciplines:
+	go test -race -count=1 ./internal/discipline ./internal/daemon
+	go test -race -count=1 -run 'Discipline' ./internal/campaign ./internal/cliutil .
+	go run ./cmd/dtpexp -sweep disciplines -duration 1500ms
 
 # Time-service fast path: the seqlock/clock tests under the race
 # detector, then cmd/dtpload calibrates a serving plane in-sim and

@@ -58,9 +58,14 @@ var (
 func main() {
 	shared.Register(flag.CommandLine,
 		cliutil.FlagTopo|cliutil.FlagSeed|cliutil.FlagDuration|
-			cliutil.FlagMetricsOut|cliutil.FlagTraceOut|cliutil.FlagHardened)
+			cliutil.FlagMetricsOut|cliutil.FlagTraceOut|cliutil.FlagHardened|
+			cliutil.FlagDiscipline)
 	flag.Parse()
 	if err := shared.Validate(); err != nil {
+		cliutil.Fatal("dtpd", 2, err)
+	}
+	disc, err := shared.ParseDiscipline()
+	if err != nil {
 		cliutil.Fatal("dtpd", 2, err)
 	}
 	g, err := shared.Topology()
@@ -138,7 +143,11 @@ func main() {
 		if err != nil {
 			cliutil.Fatal("dtpd", 1, err)
 		}
-		d := daemon.New(dev, dcfg, shared.Seed+uint64(i)+100)
+		d, err := daemon.Attach(dev, daemon.Options{Config: dcfg, Discipline: disc},
+			shared.Seed+uint64(i)+100)
+		if err != nil {
+			cliutil.Fatal("dtpd", 1, err)
+		}
 		d.Instrument(reg, tracer)
 		d.Start()
 		daemons[h] = d
@@ -215,7 +224,8 @@ func main() {
 
 	sch.RunFor(sim.FromStd(shared.Duration))
 
-	fmt.Println("== DTP daemon offsets (estimate - hardware counter), ticks")
+	fmt.Printf("== DTP daemon offsets (estimate - hardware counter), ticks — discipline %q\n",
+		daemons[hosts[0]].Discipline())
 	fmt.Printf("%-5s %8s %8s %8s %8s\n", "host", "samples", "min", "max", "p99|.|")
 	sort.Strings(hosts)
 	for _, h := range hosts {

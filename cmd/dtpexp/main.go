@@ -38,7 +38,7 @@ var (
 
 	figFlag    = flag.String("fig", "", "figure to regenerate: 6a 6b 6c 6d 6e 6f 7a 7b")
 	tableFlag  = flag.String("table", "", "table to regenerate: 1 2")
-	sweepFlag  = flag.String("sweep", "", "sweep to run: bound alpha beacon cdc tc bc synce master mixed incremental")
+	sweepFlag  = flag.String("sweep", "", "sweep to run: bound alpha beacon cdc tc bc synce master mixed incremental disciplines")
 	allFlag    = flag.Bool("all", false, "run every experiment")
 	seriesFlag = flag.Bool("series", false, "also print time-series TSV")
 )
@@ -47,19 +47,25 @@ var (
 var (
 	allFigs   = []string{"6a", "6b", "6c", "6d", "6e", "6f", "7a", "7b"}
 	allTables = []string{"1", "2"}
-	allSweeps = []string{"bound", "alpha", "beacon", "cdc", "tc", "bc", "synce", "master", "mixed", "incremental"}
+	allSweeps = []string{"bound", "alpha", "beacon", "cdc", "tc", "bc", "synce", "master", "mixed", "incremental", "disciplines"}
 )
 
 func main() {
-	shared.Register(flag.CommandLine, cliutil.FlagSeed|cliutil.FlagDuration|cliutil.FlagJobs)
+	shared.Register(flag.CommandLine,
+		cliutil.FlagSeed|cliutil.FlagDuration|cliutil.FlagJobs|cliutil.FlagDiscipline)
 	flag.Parse()
 	if err := shared.Validate(); err != nil {
 		cliutil.Fatal("dtpexp", 2, err)
 	}
+	disc, err := shared.ParseDiscipline()
+	if err != nil {
+		cliutil.Fatal("dtpexp", 2, err)
+	}
 	o := experiments.Options{
-		Seed:     shared.Seed,
-		Duration: sim.FromStd(shared.Duration),
-		Jobs:     shared.Jobs,
+		Seed:       shared.Seed,
+		Duration:   sim.FromStd(shared.Duration),
+		Jobs:       shared.Jobs,
+		Discipline: disc,
 	}
 	if *allFlag {
 		if err := runAll(os.Stdout, o); err != nil {
@@ -413,6 +419,26 @@ func runSweep(w io.Writer, sweep string, o experiments.Options) error {
 		fmt.Fprintf(w, "intra-rack (DTP):        %10.1f ns\n", res.IntraRackWorstNs)
 		fmt.Fprintf(w, "inter-rack (via PTP):    %10.1f ns\n", res.InterRackWorstNs)
 		fmt.Fprintf(w, "merged (all-DTP):        %10.1f ns\n", res.MergedWorstNs)
+	case "disciplines":
+		rows, err := experiments.DisciplineSweep(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "== Discipline lab: software-clock estimators per noise scenario (daemon on s4, paper tree)")
+		fmt.Fprintf(w, "%-10s %-12s %12s %10s %10s %8s %8s\n",
+			"kind", "scenario", "converge(ms)", "p99(ticks)", "worst", "dropped", "err(ticks)")
+		for _, r := range rows {
+			conv := "never"
+			if r.ConvergeMs >= 0 {
+				conv = fmt.Sprintf("%.0f", r.ConvergeMs)
+			}
+			errS := "unbounded"
+			if r.ErrTicks >= 0 {
+				errS = fmt.Sprintf("%.1f", r.ErrTicks)
+			}
+			fmt.Fprintf(w, "%-10s %-12s %12s %10.1f %10.1f %8d %8s\n",
+				r.Kind, r.Scenario, conv, r.P99Ticks, r.WorstTicks, r.Dropped, errS)
+		}
 	default:
 		return fmt.Errorf("unknown sweep %q", sweep)
 	}

@@ -93,7 +93,7 @@ func main() {
 	shared.Register(flag.CommandLine,
 		cliutil.FlagTopo|cliutil.FlagSeed|cliutil.FlagDuration|cliutil.FlagJobs|
 			cliutil.FlagMetricsOut|cliutil.FlagTraceOut|cliutil.FlagChaos|
-			cliutil.FlagHardened)
+			cliutil.FlagHardened|cliutil.FlagDiscipline)
 	flag.Parse()
 	if err := shared.Validate(); err != nil {
 		cliutil.Fatal("dtpsim", 2, err)
@@ -140,6 +140,9 @@ func runCampaign() {
 		}
 		if shared.Hardened {
 			g.Hardened = []bool{true}
+		}
+		if shared.Discipline != "" {
+			g.Disciplines = []string{shared.Discipline}
 		}
 	}
 	if *flightDir != "" {
@@ -213,6 +216,13 @@ func runSingle() {
 	}
 	if shared.Hardened {
 		opts = append(opts, dtp.WithHardened())
+	}
+	if shared.Discipline != "" {
+		dc, err := shared.ParseDiscipline()
+		if err != nil {
+			cliutil.Fatal("dtpsim", 2, err)
+		}
+		opts = append(opts, dtp.WithDiscipline(dc))
 	}
 	sys, err := dtp.New(g, opts...)
 	if err != nil {

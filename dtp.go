@@ -32,6 +32,7 @@ import (
 	"github.com/dtplab/dtp/internal/chaos"
 	"github.com/dtplab/dtp/internal/core"
 	"github.com/dtplab/dtp/internal/daemon"
+	"github.com/dtplab/dtp/internal/discipline"
 	"github.com/dtplab/dtp/internal/phy"
 	"github.com/dtplab/dtp/internal/sim"
 	"github.com/dtplab/dtp/internal/telemetry"
@@ -122,14 +123,15 @@ func ParseTopology(spec string) (Topology, error) {
 type Option func(*config)
 
 type config struct {
-	seed      uint64
-	cfg       core.Config
-	ppm       map[string]float64
-	daemon    daemon.Config
-	mixed     []LinkSpeed
-	reg       *telemetry.Registry
-	tracer    *telemetry.Tracer
-	heapSched bool
+	seed       uint64
+	cfg        core.Config
+	ppm        map[string]float64
+	daemon     daemon.Config
+	discipline discipline.Config
+	mixed      []LinkSpeed
+	reg        *telemetry.Registry
+	tracer     *telemetry.Tracer
+	heapSched  bool
 }
 
 // WithSeed sets the deterministic run seed (default 1).
@@ -561,6 +563,10 @@ type DaemonOptions struct {
 	// CalInterval is the PCIe calibration cadence (the paper uses
 	// ~1 s; shorter values suit compressed simulations; 0 = default).
 	CalInterval time.Duration
+	// Discipline selects the software-clock estimator for this daemon.
+	// The zero value inherits the System's WithDiscipline setting
+	// (itself defaulting to the paper's moving average).
+	Discipline DisciplineConfig
 }
 
 // Daemon starts a DTP software daemon (§5.1) on the named host: a
@@ -575,7 +581,15 @@ func (s *System) Daemon(o DaemonOptions) (*Daemon, error) {
 	if o.CalInterval > 0 {
 		cfg.CalInterval = sim.FromStd(o.CalInterval)
 	}
-	d := daemon.New(dev, cfg, s.cfg.seed+uint64(dev.ID())+1000)
+	dc := o.Discipline
+	if dc == (DisciplineConfig{}) {
+		dc = s.cfg.discipline
+	}
+	d, err := daemon.Attach(dev, daemon.Options{Config: cfg, Discipline: dc},
+		s.cfg.seed+uint64(dev.ID())+1000)
+	if err != nil {
+		return nil, err
+	}
 	if s.cfg.reg != nil || s.cfg.tracer != nil {
 		d.Instrument(s.cfg.reg, s.cfg.tracer)
 	}
@@ -602,6 +616,31 @@ func (d *Daemon) Counter() float64 { return d.d.Estimate() }
 // OffsetTicks returns the daemon's current error versus the hardware
 // counter, in units.
 func (d *Daemon) OffsetTicks() float64 { return d.d.OffsetUnits() }
+
+// Discipline returns the active estimator's kind ("ma", "pll",
+// "theilsen" or "lad").
+func (d *Daemon) Discipline() string { return d.d.Discipline() }
+
+// DroppedSamples returns how many calibration samples the discipline's
+// outlier logic has rejected.
+func (d *Daemon) DroppedSamples() uint64 { return d.d.DroppedSamples() }
+
+// DisciplineResets returns how many times a device restart forced the
+// discipline to discard its state and reacquire.
+func (d *Daemon) DisciplineResets() uint64 { return d.d.DisciplineResets() }
+
+// ErrorBoundTicks returns the discipline's self-reported bound on the
+// current estimate's error, in ticks (+Inf before the first
+// calibration). The serving plane folds it into interval widths.
+func (d *Daemon) ErrorBoundTicks() float64 { return d.d.EstimateErrorUnits() }
+
+// RatioPPM returns the estimated counter-per-TSC frequency ratio as a
+// ppm deviation from nominal.
+func (d *Daemon) RatioPPM() float64 {
+	dev := d.d.Device()
+	nominal := 1e3 / float64(dev.Clock().NominalPeriodFs())
+	return (d.d.Ratio()/nominal - 1) * 1e6
+}
 
 // Graph exposes the topology for inspection.
 func (s *System) Graph() Topology { return s.net.Graph }

@@ -59,6 +59,22 @@ func (s *System) Timeline(o TimelineOptions) *Timeline {
 		})
 		tl.Rate("audit_violations_per_s", func() float64 { return float64(a.Violations()) })
 	}
+	for _, w := range s.daemons {
+		// Per-daemon discipline health: the live estimate error against
+		// the hardware counter and the discipline's own error bound. A
+		// breach shows as the offset trend escaping the (self-reported)
+		// bound — the exact signal the discipline comparison sweeps on.
+		d := w.d
+		host := d.Device().Name()
+		tl.Gauge("daemon_offset_ticks_"+host, func() float64 { return d.OffsetUnits() })
+		tl.Gauge("daemon_err_ticks_"+host, func() float64 {
+			e := d.EstimateErrorUnits()
+			if math.IsInf(e, 0) {
+				return math.NaN()
+			}
+			return e
+		})
+	}
 	for _, tp := range s.timeplanes {
 		for _, h := range tp.Hosts() {
 			// The interpolated read half-width, not the frozen published
@@ -187,10 +203,19 @@ func (s *System) FlightRecorder(o FlightOptions) (*FlightRecorder, error) {
 		rec.AddState("daemons", func() any {
 			out := map[string]any{}
 			for _, w := range daemons {
-				out[w.d.Device().Name()] = map[string]any{
+				st := map[string]any{
 					"estimate_units": w.d.Estimate(),
 					"offset_units":   w.d.OffsetUnits(),
+					"discipline":     w.d.Discipline(),
+					"ratio_ppm":      w.RatioPPM(),
+					"dropped":        w.d.DroppedSamples(),
+					"resets":         w.d.DisciplineResets(),
 				}
+				// +Inf (no calibration yet) is not JSON-encodable.
+				if e := w.d.EstimateErrorUnits(); !math.IsInf(e, 0) {
+					st["err_units"] = e
+				}
+				out[w.d.Device().Name()] = st
 			}
 			return out
 		})

@@ -49,6 +49,11 @@ type TimePlaneOptions struct {
 	// daemon default; compressed simulations want ~10ms).
 	CalInterval time.Duration
 
+	// Discipline selects the software-clock estimator every plane
+	// daemon runs (broadcaster and served hosts alike). The zero value
+	// inherits the System's WithDiscipline setting.
+	Discipline DisciplineConfig
+
 	// BroadcastInterval is the UTC pair cadence (default 10 ms).
 	BroadcastInterval time.Duration
 
@@ -127,7 +132,9 @@ func (s *System) TimePlane(o TimePlaneOptions) (*TimePlane, error) {
 	}
 
 	newDaemon := func(host string) (*daemon.Daemon, error) {
-		w, err := s.Daemon(DaemonOptions{Host: host, CalInterval: o.CalInterval})
+		w, err := s.Daemon(DaemonOptions{
+			Host: host, CalInterval: o.CalInterval, Discipline: o.Discipline,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"github.com/dtplab/dtp"
 )
 
 // Duration is a time.Duration that marshals to and from Go duration
@@ -83,6 +85,12 @@ type Grid struct {
 	// Synthesized faults append to any Chaos scenario on the same
 	// point. Default: [0].
 	Liars []int `json:"liars,omitempty"`
+	// Disciplines sweeps the daemon's software-clock estimator: each
+	// non-empty spec ("ma", "pll:kp=0.7", "theilsen", "lad:dropk=2", …)
+	// attaches a probe daemon to the run's first host and records its
+	// precision/convergence into the Result's Daemon* fields. "" means
+	// no daemon probe. Default: [""].
+	Disciplines []string `json:"disciplines,omitempty"`
 
 	// Wander enables oscillator temperature wander (10 ms interval,
 	// 100 ppb steps — the dtpsim default) on every run.
@@ -132,6 +140,8 @@ type Point struct {
 	// Liars is how many synthesized simultaneous Byzantine liar devices
 	// this run carries (see Grid.Liars).
 	Liars int `json:"liars,omitempty"`
+	// Discipline is the daemon-probe estimator spec ("" = no probe).
+	Discipline string `json:"discipline,omitempty"`
 }
 
 func (p Point) String() string {
@@ -145,6 +155,9 @@ func (p Point) String() string {
 	}
 	if p.Liars > 0 {
 		s += fmt.Sprintf(" liars=%d", p.Liars)
+	}
+	if p.Discipline != "" {
+		s += " discipline=" + p.Discipline
 	}
 	return s
 }
@@ -174,6 +187,9 @@ func (g Grid) withDefaults() Grid {
 	}
 	if len(g.Liars) == 0 {
 		g.Liars = []int{0}
+	}
+	if len(g.Disciplines) == 0 {
+		g.Disciplines = []string{""}
 	}
 	if g.SamplePeriod <= 0 {
 		g.SamplePeriod = Duration(100 * time.Microsecond)
@@ -215,12 +231,21 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("campaign: liar count must be >= 0, got %d", l)
 		}
 	}
+	for _, spec := range g.Disciplines {
+		if spec == "" {
+			continue
+		}
+		if _, err := dtp.ParseDiscipline(spec); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
 	return nil
 }
 
 // Expand resolves the grid into its runs, in grid order: topology
-// outermost, then load, beacon, duration, chaos, hardened, liars, and
-// seed innermost — so seed sweeps of one configuration are contiguous.
+// outermost, then load, beacon, duration, chaos, hardened, liars,
+// discipline, and seed innermost — so seed sweeps of one configuration
+// are contiguous.
 func (g Grid) Expand() []Point {
 	g = g.withDefaults()
 	var pts []Point
@@ -231,13 +256,16 @@ func (g Grid) Expand() []Point {
 					for _, chaos := range g.Chaos {
 						for _, hardened := range g.Hardened {
 							for _, liars := range g.Liars {
-								for _, seed := range g.Seeds {
-									pts = append(pts, Point{
-										Index: len(pts), Topo: topo, Seed: seed,
-										Load: load, Beacon: beacon,
-										Duration: dur, Chaos: chaos,
-										Hardened: hardened, Liars: liars,
-									})
+								for _, disc := range g.Disciplines {
+									for _, seed := range g.Seeds {
+										pts = append(pts, Point{
+											Index: len(pts), Topo: topo, Seed: seed,
+											Load: load, Beacon: beacon,
+											Duration: dur, Chaos: chaos,
+											Hardened: hardened, Liars: liars,
+											Discipline: disc,
+										})
+									}
 								}
 							}
 						}

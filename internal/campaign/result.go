@@ -86,6 +86,21 @@ type Result struct {
 	TimeWidthP50Ps float64 `json:"time_width_p50_ps,omitempty"`
 	TimeWidthP99Ps float64 `json:"time_width_p99_ps,omitempty"`
 
+	// Daemon* fields summarize the discipline probe (Point.Discipline):
+	// a daemon on the run's first host, sampled at the grid cadence.
+	// DaemonSamples counts probe samples, DaemonP99OffsetTicks is the
+	// p99 |estimate - hardware counter| over the window's second half,
+	// DaemonConvergeUs the simulated time until the estimate first held
+	// the ±4-tick band for 10 consecutive samples (-1 = never),
+	// DaemonDropped the discipline's outlier rejections, DaemonErrTicks
+	// its final self-reported error bound (-1 before first calibration —
+	// +Inf is not JSON-encodable). Zero-valued without a probe.
+	DaemonSamples        uint64  `json:"daemon_samples,omitempty"`
+	DaemonP99OffsetTicks float64 `json:"daemon_p99_offset_ticks,omitempty"`
+	DaemonConvergeUs     float64 `json:"daemon_converge_us,omitempty"`
+	DaemonDropped        uint64  `json:"daemon_dropped,omitempty"`
+	DaemonErrTicks       float64 `json:"daemon_err_ticks,omitempty"`
+
 	// TimelinePath is the run's exported timeline JSONL (set when the
 	// grid's FlightDir armed observability); FlightBundles lists the
 	// flight-recorder bundles the run tripped, in trigger order. Both

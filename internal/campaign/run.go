@@ -3,6 +3,7 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -187,6 +188,31 @@ func RunPoint(g Grid, p Point) (res Result) {
 		}
 	}
 
+	// Discipline probe: a daemon on the first host running the point's
+	// estimator, sampled alongside the offset envelope below. The 5 ms
+	// calibration cadence compresses the paper's ~1 s the same way the
+	// serving plane's 10 ms does, but gives the estimator enough samples
+	// to converge within even the shortest campaign windows.
+	var probe *dtp.Daemon
+	if p.Discipline != "" {
+		dc, derr := dtp.ParseDiscipline(p.Discipline)
+		if derr != nil {
+			res.Err = derr.Error()
+			return res
+		}
+		host := firstHost(sys)
+		if host == "" {
+			res.Err = fmt.Sprintf("campaign: topology %q has no host for the discipline probe", p.Topo)
+			return res
+		}
+		if probe, err = sys.Daemon(dtp.DaemonOptions{
+			Host: host, CalInterval: 5 * time.Millisecond, Discipline: dc,
+		}); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+
 	switch p.Load {
 	case "mtu":
 		sys.SetUniformLoad(1522)
@@ -214,6 +240,7 @@ func RunPoint(g Grid, p Point) (res Result) {
 	sample := g.SamplePeriod.Std()
 	summary := stats.NewSummary(0)
 	widths := stats.NewSummary(0)
+	var probeOffs []float64
 	for elapsed := time.Duration(0); elapsed < p.Duration.Std(); elapsed += sample {
 		sys.Run(sample)
 		off := sys.MaxOffsetTicks()
@@ -221,6 +248,9 @@ func RunPoint(g Grid, p Point) (res Result) {
 			res.MaxOffsetTicks = off
 		}
 		summary.Add(float64(off))
+		if probe != nil {
+			probeOffs = append(probeOffs, probe.OffsetTicks())
+		}
 		if tp != nil {
 			for _, h := range tp.Hosts() {
 				w, covered, err := tp.ReadCheck(h)
@@ -244,6 +274,15 @@ func RunPoint(g Grid, p Point) (res Result) {
 	}
 	res.P50OffsetTicks = summary.Quantile(0.5)
 	res.P99OffsetTicks = summary.Quantile(0.99)
+	if probe != nil {
+		res.DaemonSamples = uint64(len(probeOffs))
+		res.DaemonDropped = probe.DroppedSamples()
+		res.DaemonErrTicks = probe.ErrorBoundTicks()
+		if math.IsInf(res.DaemonErrTicks, 0) {
+			res.DaemonErrTicks = -1 // no calibration completed; JSON has no +Inf
+		}
+		daemonStats(&res, probeOffs, sample)
+	}
 	if res.TimeReads > 0 {
 		res.TimeWidthP50Ps = widths.Quantile(0.5)
 		res.TimeWidthP99Ps = widths.Quantile(0.99)
@@ -291,6 +330,41 @@ func RunPoint(g Grid, p Point) (res Result) {
 		}
 	}
 	return res
+}
+
+// firstHost returns the topology's first host name ("" when none).
+func firstHost(sys *dtp.System) string {
+	g := sys.Graph()
+	ids := g.HostIDs()
+	if len(ids) == 0 {
+		return ""
+	}
+	return g.Nodes[ids[0]].Name
+}
+
+// daemonStats folds the probe's sampled offsets into the Result: p99
+// |offset| over the second half of the window, and the convergence
+// time — when the estimate first held the paper's ±4-tick band for 10
+// consecutive samples (-1 = never within this window).
+func daemonStats(res *Result, offs []float64, sample time.Duration) {
+	s := stats.NewSummary(0)
+	for _, o := range offs[len(offs)/2:] {
+		s.Add(o)
+	}
+	res.DaemonP99OffsetTicks = math.Max(math.Abs(s.Quantile(0.99)), math.Abs(s.Quantile(0.01)))
+	const band, hold = 4.0, 10
+	res.DaemonConvergeUs = -1
+	run := 0
+	for i, o := range offs {
+		if math.Abs(o) > band {
+			run = 0
+			continue
+		}
+		if run++; run == hold {
+			res.DaemonConvergeUs = float64(i-hold+2) * sample.Seconds() * 1e6
+			break
+		}
+	}
 }
 
 // withLiars appends p.Liars synthesized simultaneous Byzantine liar

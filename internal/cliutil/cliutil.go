@@ -35,6 +35,9 @@ const (
 	FlagChaos
 	// FlagHardened is -hardened, the Byzantine-hardened protocol mode.
 	FlagHardened
+	// FlagDiscipline is -discipline, the daemon software-clock
+	// estimator spec.
+	FlagDiscipline
 )
 
 // Flags holds the shared flag values. Initialize fields before Register
@@ -49,6 +52,7 @@ type Flags struct {
 	TraceOut   string
 	Chaos      string
 	Hardened   bool
+	Discipline string
 
 	registered Set
 }
@@ -94,6 +98,10 @@ func (f *Flags) Register(fs *flag.FlagSet, which Set) {
 		fs.BoolVar(&f.Hardened, "hardened", f.Hardened,
 			"enable Byzantine-hardened mode: bounded-jump admission, quarantine, quorum combiner")
 	}
+	if which&FlagDiscipline != 0 {
+		fs.StringVar(&f.Discipline, "discipline", f.Discipline,
+			"daemon software-clock estimator: ma | pll | theilsen | lad, with options as kind:opt=val,... (e.g. pll:kp=0.7 or lad:dropk=2)")
+	}
 }
 
 // Validate cross-checks the registered flag values: a non-empty
@@ -120,6 +128,11 @@ func (f *Flags) Validate() error {
 			return err
 		}
 	}
+	if f.registered&FlagDiscipline != 0 && f.Discipline != "" {
+		if _, err := dtp.ParseDiscipline(f.Discipline); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -135,6 +148,15 @@ func (f *Flags) LoadChaos() (*dtp.ChaosScenario, error) {
 		return nil, nil
 	}
 	return dtp.LoadChaosScenario(f.Chaos)
+}
+
+// ParseDiscipline parses the -discipline spec; the zero config (the
+// paper's moving average) is returned when the flag is unset.
+func (f *Flags) ParseDiscipline() (dtp.DisciplineConfig, error) {
+	if f.Discipline == "" {
+		return dtp.DisciplineConfig{}, nil
+	}
+	return dtp.ParseDiscipline(f.Discipline)
 }
 
 // Fatal prints "cmd: err" to stderr and exits with the given code —

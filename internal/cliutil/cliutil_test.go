@@ -113,3 +113,31 @@ func TestWriteFile(t *testing.T) {
 		t.Fatalf("read %q, %v", b, err)
 	}
 }
+
+func TestDisciplineFlag(t *testing.T) {
+	var f Flags
+	err := parse(t, &f, FlagDiscipline, "-discipline", "pll:kp=0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := f.ParseDiscipline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Kind != "pll" {
+		t.Fatalf("parsed kind %q, want pll", dc.Kind)
+	}
+
+	var unset Flags
+	if err := parse(t, &unset, FlagDiscipline); err != nil {
+		t.Fatal(err)
+	}
+	if dc, err := unset.ParseDiscipline(); err != nil || dc.Kind != "" {
+		t.Fatalf("unset -discipline must parse to the zero config, got %+v, %v", dc, err)
+	}
+
+	var bad Flags
+	if err := parse(t, &bad, FlagDiscipline, "-discipline", "kalman"); err == nil {
+		t.Fatal("unknown discipline kind validated")
+	}
+}

@@ -33,6 +33,11 @@ type Device struct {
 	// beacon and JOIN this device transmits carries gc + lieUnits while
 	// the real counter stays honest.
 	lieUnits uint64
+
+	// restarts counts Restart calls so observers polling the device
+	// (notably the daemon) can detect a counter reset and discard state
+	// anchored to the pre-crash counter domain.
+	restarts uint64
 }
 
 func newDevice(n *Network, node topo.Node, offsetPPM float64, rng *sim.RNG) *Device {
@@ -151,6 +156,7 @@ func (d *Device) Crash() {
 // dynamics").
 func (d *Device) Restart() {
 	now := d.net.Sch.Now()
+	d.restarts++
 	d.gc.resetAt(now)
 	tel := &d.net.tel
 	tel.tr.Record(now, telemetry.KindDeviceRestart, d.node.Name, 0, 0, "")
@@ -159,6 +165,13 @@ func (d *Device) Restart() {
 		p.peer.Up()
 	}
 }
+
+// Restarts returns how many times this device has been power-cycled
+// via Restart. Each restart resets the counter domain, so consumers
+// holding state anchored to the old counter (the daemon's calibration
+// history) compare this against a remembered value to know when to
+// start over.
+func (d *Device) Restarts() uint64 { return d.restarts }
 
 // tickDur converts n of this device's clock ticks to simulated time at
 // the oscillator's current rate.

@@ -5,6 +5,11 @@
 // estimates by interpolation. The paper measures the raw estimate
 // within ±16 ticks (~102 ns) of the hardware counter, and within
 // ±4 ticks (~25.6 ns) after a 10-sample moving average.
+//
+// The estimator itself is pluggable: the daemon feeds raw calibration
+// pairs to an internal/discipline Discipline (moving average by
+// default, or PLL / Theil-Sen / LAD) and serves whatever model it
+// maintains. See Options.Discipline.
 package daemon
 
 import (
@@ -12,6 +17,7 @@ import (
 	"math"
 
 	"github.com/dtplab/dtp/internal/core"
+	"github.com/dtplab/dtp/internal/discipline"
 	"github.com/dtplab/dtp/internal/sim"
 	"github.com/dtplab/dtp/internal/swclock"
 	"github.com/dtplab/dtp/internal/telemetry"
@@ -35,6 +41,11 @@ type Config struct {
 	TSCPPM float64
 	// RatioGain is the EWMA gain for the DTP-per-TSC frequency ratio
 	// estimate.
+	//
+	// Deprecated: RatioGain parameterizes only the moving-average
+	// discipline; set Options.Discipline.Gain instead. It is honored
+	// when Options.Discipline leaves the gain unset, so existing
+	// callers keep their exact behavior.
 	RatioGain float64
 }
 
@@ -60,6 +71,19 @@ func (c Config) Compressed(k int64) Config {
 	return c
 }
 
+// Options configures Attach, following the option-struct + Close()
+// convention of dtp.System. The zero value reproduces the paper setup:
+// DefaultConfig hardware and the moving-average discipline.
+type Options struct {
+	// Config models the host hardware; the zero value means
+	// DefaultConfig().
+	Config Config
+	// Discipline selects and parameterizes the software-clock
+	// estimator; the zero value means the paper's moving-average path
+	// (discipline kind "ma").
+	Discipline discipline.Config
+}
+
 // Daemon is the per-server DTP daemon.
 type Daemon struct {
 	dev *core.Device
@@ -69,17 +93,21 @@ type Daemon struct {
 
 	tsc *swclock.Clock // invariant TSC as a ps-domain clock
 
-	// Calibration state: DTP counter (units) anchored to a TSC reading,
-	// plus the estimated ratio of DTP units per TSC picosecond. The
-	// ratio is measured against an anchor several calibrations old —
-	// a longer baseline divides the per-read latch noise.
-	haveCal   bool
-	calDTP    float64
-	calTSC    float64
-	anchorErr float64 // worst-case anchor error, units (see EstimateErrorUnits)
-	ratio     float64 // units per TSC ps
-	calCount  uint64
-	history   []calPoint
+	// The discipline owns all calibration state; the daemon holds a
+	// copy of its latest model for lock-free-style reads on the serve
+	// path (everything runs under the sim scheduler, but the model
+	// copy also keeps EstimateAt free of interface calls).
+	disc    discipline.Discipline
+	model   discipline.Model
+	nominal float64 // nominal counter units per TSC ps
+
+	calCount uint64
+	// lastRestarts mirrors dev.Restarts(): when the device power-cycles
+	// its counter restarts from zero, so calibration history anchored to
+	// the old counter domain is poison — the discipline is reset and
+	// reacquires from scratch (the crash/rejoin fix).
+	lastRestarts uint64
+	resets       uint64
 
 	stopped bool
 
@@ -88,27 +116,64 @@ type Daemon struct {
 	OnSample func(offsetUnits float64)
 
 	// Telemetry handles (nil when uninstrumented; see Instrument).
-	cals    *telemetry.Counter
-	offHist *telemetry.Histogram
-	tr      *telemetry.Tracer
+	cals     *telemetry.Counter
+	offHist  *telemetry.Histogram
+	gErr     *telemetry.Gauge
+	gRatio   *telemetry.Gauge
+	cDropped *telemetry.Counter
+	cResets  *telemetry.Counter
+	tr       *telemetry.Tracer
 }
 
-// New attaches a daemon to a DTP device.
-func New(dev *core.Device, cfg Config, seed uint64) *Daemon {
+// Attach connects a daemon to a DTP device. The returned daemon is not
+// yet calibrating; call Start. Close (or Stop) detaches it.
+func Attach(dev *core.Device, o Options, seed uint64) (*Daemon, error) {
+	cfg := o.Config
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	dc := o.Discipline
+	if dc.Gain == 0 && (dc.Kind == "" || dc.Kind == "ma") {
+		// Deprecated Config.RatioGain still parameterizes the default
+		// moving-average discipline.
+		dc.Gain = cfg.RatioGain
+	}
+	nominal := 1e3 / float64(dev.Clock().NominalPeriodFs())
+	disc, err := dc.New(nominal)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
 	sch := dev.Clock().Scheduler()
 	rng := sim.NewRNG(seed, fmt.Sprintf("daemon/%s", dev.Name()))
 	d := &Daemon{
 		dev: dev, sch: sch, rng: rng, cfg: cfg,
-		tsc: swclock.New(sch, rng.Uniform(-cfg.TSCPPM, cfg.TSCPPM)),
+		tsc:          swclock.New(sch, rng.Uniform(-cfg.TSCPPM, cfg.TSCPPM)),
+		disc:         disc,
+		nominal:      nominal,
+		lastRestarts: dev.Restarts(),
 	}
-	// Nominal ratio: one DTP unit per unit duration.
-	d.ratio = 1e3 / float64(dev.Clock().NominalPeriodFs())
+	d.model = disc.Model()
+	return d, nil
+}
+
+// New attaches a daemon with the default moving-average discipline.
+//
+// Deprecated: use Attach, which takes an Options struct and can select
+// a discipline. New panics on an invalid Config (Attach returns the
+// error instead).
+func New(dev *core.Device, cfg Config, seed uint64) *Daemon {
+	d, err := Attach(dev, Options{Config: cfg}, seed)
+	if err != nil {
+		panic(err)
+	}
 	return d
 }
 
-// Instrument attaches telemetry: a calibration counter and a software-
-// offset histogram labeled with the host name, plus daemon_cal trace
-// events (V1 = offset in milli-units, V2 = calibration count). Either
+// Instrument attaches telemetry: a calibration counter, a software-
+// offset histogram, per-discipline gauges (anchor error bound, ratio
+// deviation from nominal) and counters (outlier drops, restart resets),
+// all labeled with the host name, plus daemon_cal trace events
+// (V1 = offset in milli-units, V2 = calibration count). Either
 // argument may be nil.
 func (d *Daemon) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	host := d.dev.Name()
@@ -117,6 +182,18 @@ func (d *Daemon) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	d.offHist = reg.Histogram("dtp_daemon_offset_units",
 		"Daemon software offset (estimate - hardware counter) in counter units (Fig. 7).",
 		telemetry.LinearBuckets(-20, 2, 21), "host", host)
+	d.gErr = reg.Gauge("dtp_daemon_discipline_err_units",
+		"Active discipline's self-reported anchor error bound, counter units.",
+		"host", host, "discipline", d.disc.Name())
+	d.gRatio = reg.Gauge("dtp_daemon_discipline_ratio_ppm",
+		"Active discipline's frequency-ratio estimate, ppm deviation from nominal.",
+		"host", host, "discipline", d.disc.Name())
+	d.cDropped = reg.Counter("dtp_daemon_discipline_dropped_total",
+		"Calibration samples rejected by the discipline's outlier logic.",
+		"host", host, "discipline", d.disc.Name())
+	d.cResets = reg.Counter("dtp_daemon_discipline_resets_total",
+		"Discipline state resets triggered by device restarts.",
+		"host", host, "discipline", d.disc.Name())
 	d.tr = tr
 }
 
@@ -134,6 +211,14 @@ func (d *Daemon) Start() {
 // Stop halts calibration (estimates keep extrapolating).
 func (d *Daemon) Stop() { d.stopped = true }
 
+// Close stops the daemon, completing the option-struct + Close()
+// lifecycle convention. It never fails; the error return matches the
+// io.Closer shape used across the facade.
+func (d *Daemon) Close() error {
+	d.Stop()
+	return nil
+}
+
 // Calibrations returns how many PCIe reads have completed.
 func (d *Daemon) Calibrations() uint64 { return d.calCount }
 
@@ -147,12 +232,6 @@ func (d *Daemon) readLatency() sim.Time {
 	return lat
 }
 
-type calPoint struct{ dtp, tsc float64 }
-
-// ratioBaseline is how many calibrations back the frequency-ratio anchor
-// sits: a longer baseline divides per-read latch noise into the ratio.
-const ratioBaseline = 10
-
 // The NIC latches the counter somewhere within the PCIe read; the
 // daemon assumes the window midpoint. The latch point stays within
 // latchMidFrac ± latchHalfRangeFrac of the measured read duration (the
@@ -164,14 +243,8 @@ const (
 	latchHalfRangeFrac = 0.1
 )
 
-// ratioSlackPPM bounds the frequency-ratio estimation error: the ratio
-// is an EWMA over a ratioBaseline-calibration window, so per-read latch
-// noise divided by the baseline leaves well under a ppm in steady state;
-// PCIe spike samples push it to a few ppm transiently.
-const ratioSlackPPM = 5
-
-// calibrate performs one MMIO read of the NIC's DTP counter and updates
-// the TSC->DTP mapping.
+// calibrate performs one MMIO read of the NIC's DTP counter and feeds
+// the (tsc, dtp) pair to the active discipline.
 func (d *Daemon) calibrate() {
 	if d.stopped {
 		return
@@ -187,22 +260,29 @@ func (d *Daemon) calibrate() {
 	latchAt := issue + sim.Time(float64(lat)*latchFrac)
 	latched := d.dev.GlobalCounterAt(latchAt)
 	d.sch.At(issue+lat, func() {
+		if r := d.dev.Restarts(); r != d.lastRestarts {
+			// The counter restarted from zero while this read was in
+			// flight or since the last calibration: every anchor in the
+			// discipline belongs to the dead counter domain.
+			d.lastRestarts = r
+			d.resets++
+			d.cResets.Inc()
+			d.disc.Reset()
+		}
 		tscMid := d.tsc.At(issue + lat/2)
-		sample := float64(latched)
-		d.history = append(d.history, calPoint{sample, tscMid})
-		if len(d.history) > ratioBaseline+1 {
-			d.history = d.history[1:]
-		}
-		if anchor := d.history[0]; tscMid > anchor.tsc {
-			instRatio := (sample - anchor.dtp) / (tscMid - anchor.tsc)
-			d.ratio += d.cfg.RatioGain * (instRatio - d.ratio)
-		}
-		d.calDTP = sample
-		d.calTSC = tscMid
-		d.anchorErr = latchHalfRangeFrac * float64(lat) * d.ratio
-		d.haveCal = true
+		wasDropped := d.disc.Dropped()
+		d.model = d.disc.Feed(discipline.Sample{
+			DTP:        float64(latched),
+			TSC:        tscMid,
+			LatchErrPs: latchHalfRangeFrac * float64(lat),
+		})
 		d.calCount++
 		d.cals.Inc()
+		if n := d.disc.Dropped() - wasDropped; n > 0 {
+			d.cDropped.Add(n)
+		}
+		d.gErr.Set(d.model.ErrUnits)
+		d.gRatio.Set((d.model.Ratio/d.nominal - 1) * 1e6)
 		if d.OnSample != nil || d.offHist != nil || d.tr.Enabled(telemetry.KindDaemonCal) {
 			est := d.EstimateAt(d.sch.Now())
 			truth := float64(d.dev.GlobalCounterAt(d.sch.Now()))
@@ -223,10 +303,10 @@ func (d *Daemon) calibrate() {
 // EstimateAt returns the daemon's get_DTP_counter() estimate (in counter
 // units, fractional) at time t, interpolated from the TSC.
 func (d *Daemon) EstimateAt(t sim.Time) float64 {
-	if !d.haveCal {
+	if !d.model.Valid {
 		return 0
 	}
-	return d.calDTP + (d.tsc.At(t)-d.calTSC)*d.ratio
+	return d.model.DTP + (d.tsc.At(t)-d.model.TSC)*d.model.Ratio
 }
 
 // Estimate returns the current get_DTP_counter() value.
@@ -249,27 +329,34 @@ func (d *Daemon) Device() *core.Device { return d.dev }
 func (d *Daemon) TSC() *swclock.Clock { return d.tsc }
 
 // Ratio returns the estimated DTP counter units per TSC picosecond.
-func (d *Daemon) Ratio() float64 { return d.ratio }
+func (d *Daemon) Ratio() float64 { return d.model.Ratio }
 
 // Calibrated reports whether at least one PCIe calibration completed
 // (before that, estimates are meaningless zeros).
-func (d *Daemon) Calibrated() bool { return d.haveCal }
+func (d *Daemon) Calibrated() bool { return d.model.Valid }
+
+// Discipline returns the active discipline's kind ("ma", "pll",
+// "theilsen" or "lad").
+func (d *Daemon) Discipline() string { return d.disc.Name() }
+
+// Model returns a copy of the active discipline's current model.
+func (d *Daemon) Model() discipline.Model { return d.model }
+
+// DroppedSamples returns how many calibration samples the discipline's
+// outlier logic has rejected.
+func (d *Daemon) DroppedSamples() uint64 { return d.disc.Dropped() }
+
+// DisciplineResets returns how many times a device restart forced the
+// discipline to discard its state and reacquire.
+func (d *Daemon) DisciplineResets() uint64 { return d.resets }
 
 // EstimateErrorUnits returns a conservative bound on the current
 // estimate's error versus the hardware counter, in counter units: the
-// calibration anchor's worst-case latch error (half-range of the latch
-// window over the measured PCIe read) plus frequency-ratio slack
-// accumulated since the calibration. It is adaptive — a contention
-// spike widens the bound for exactly one calibration interval — and
-// +Inf before the first calibration. The serving plane
+// discipline's self-reported anchor error plus its frequency-ratio
+// slack accumulated since the calibration. It is adaptive — a
+// contention spike widens the bound for exactly one calibration
+// interval — and +Inf before the first calibration. The serving plane
 // (internal/timesvc) folds it into published interval half-widths.
 func (d *Daemon) EstimateErrorUnits() float64 {
-	if !d.haveCal {
-		return math.Inf(1)
-	}
-	elapsed := d.tsc.Now() - d.calTSC // TSC ps since calibration
-	if elapsed < 0 {
-		elapsed = 0
-	}
-	return d.anchorErr + ratioSlackPPM*1e-6*elapsed*d.ratio
+	return d.model.ErrorAt(d.tsc.Now())
 }

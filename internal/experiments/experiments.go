@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/dtplab/dtp/internal/core"
+	"github.com/dtplab/dtp/internal/discipline"
 	"github.com/dtplab/dtp/internal/sim"
 	"github.com/dtplab/dtp/internal/stats"
 	"github.com/dtplab/dtp/internal/topo"
@@ -27,6 +28,10 @@ type Options struct {
 	// independent simulations (<= 0 selects GOMAXPROCS). Results are
 	// merged in point order, so the output is identical for any value.
 	Jobs int
+	// Discipline selects the daemon's software-clock estimator for the
+	// experiments that attach daemons (Figure 7). The zero value is the
+	// paper's moving average.
+	Discipline discipline.Config
 }
 
 func (o Options) withDefaults(dur, sample sim.Time) Options {

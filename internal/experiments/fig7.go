@@ -51,7 +51,13 @@ func Fig7(o Options) (*DaemonFigResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := daemon.New(dev, daemon.DefaultConfig().Compressed(daemonCompression), o.Seed+20+uint64(i))
+		d, err := daemon.Attach(dev, daemon.Options{
+			Config:     daemon.DefaultConfig().Compressed(daemonCompression),
+			Discipline: o.Discipline,
+		}, o.Seed+20+uint64(i))
+		if err != nil {
+			return nil, err
+		}
 		name := name
 		d.OnSample = func(off float64) { res.Raw[name] = append(res.Raw[name], off) }
 		d.Start()
